@@ -1,0 +1,71 @@
+// Figure 10: theoretical magnitude and phase plots for the reference PLL,
+// from the closed-loop transfer function of eqn (4) with the Table 3
+// values. Also prints the capacitor-node response (what the peak-detect-
+// and-hold BIST physically captures) for comparison with Figures 11/12.
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "control/bode.hpp"
+#include "control/grid.hpp"
+#include "pll/config.hpp"
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace pllbist;
+  benchutil::printHeader("Figure 10 - theoretical response of the reference PLL (eqn 4)");
+
+  const pll::PllConfig cfg = pll::referenceConfig();
+  const control::TransferFunction eqn4 = cfg.closedLoopDividedTf();
+  const control::TransferFunction cap = cfg.capacitorNodeTf();
+
+  std::vector<double> freqs = control::logspace(0.5, 100.0, 41);
+  std::printf("\n%10s | %12s %12s | %12s %12s\n", "f (Hz)", "eqn4 (dB)", "eqn4 (deg)", "cap (dB)",
+              "cap (deg)");
+  for (double f : freqs) {
+    const double w = hzToRadPerSec(f);
+    std::printf("%10.3f | %12.3f %12.2f | %12.3f %12.2f\n", f, eqn4.magnitudeDbAt(w),
+                eqn4.phaseDegAt(w), cap.magnitudeDbAt(w), cap.phaseDegAt(w));
+  }
+
+  benchutil::printSubHeader("features");
+  std::vector<double> ws = control::logspace(hzToRadPerSec(0.2), hzToRadPerSec(200.0), 400);
+  const auto eqn4_bode = control::BodeResponse::compute(eqn4, ws);
+  const auto cap_bode = control::BodeResponse::compute(cap, ws);
+  std::printf("eqn4: peak %.3f dB at %.3f Hz, phase there %.1f deg, f3dB %.3f Hz\n",
+              eqn4_bode.peakingDb(), radPerSecToHz(eqn4_bode.peak().omega_rad_per_s),
+              eqn4_bode.phaseDegAt(eqn4_bode.peak().omega_rad_per_s),
+              radPerSecToHz(eqn4_bode.bandwidth3Db().value_or(0.0)));
+  std::printf("      phase at fn = 8 Hz: %.1f deg   <- the paper's -46 deg anchor\n",
+              eqn4.phaseDegAt(hzToRadPerSec(8.0)));
+  std::printf("cap : peak %.3f dB at %.3f Hz, phase there %.1f deg, f3dB %.3f Hz\n",
+              cap_bode.peakingDb(), radPerSecToHz(cap_bode.peak().omega_rad_per_s),
+              cap_bode.phaseDegAt(cap_bode.peak().omega_rad_per_s),
+              radPerSecToHz(cap_bode.bandwidth3Db().value_or(0.0)));
+  std::printf("      phase at fn = 8 Hz: %.1f deg\n", cap.phaseDegAt(hzToRadPerSec(8.0)));
+
+  benchutil::printSubHeader("magnitude (dB)");
+  benchutil::Series m1{"eqn4 |H|", '*', {}, {}}, m2{"capacitor node", 'o', {}, {}};
+  for (const auto& p : eqn4_bode.points()) {
+    m1.x.push_back(radPerSecToHz(p.omega_rad_per_s));
+    m1.y.push_back(p.magnitude_db);
+  }
+  for (const auto& p : cap_bode.points()) {
+    m2.x.push_back(radPerSecToHz(p.omega_rad_per_s));
+    m2.y.push_back(p.magnitude_db);
+  }
+  std::printf("%s", benchutil::asciiPlot({m1, m2}).c_str());
+
+  benchutil::printSubHeader("phase (deg)");
+  benchutil::Series p1{"eqn4 arg H", '*', {}, {}}, p2{"capacitor node", 'o', {}, {}};
+  for (const auto& p : eqn4_bode.points()) {
+    p1.x.push_back(radPerSecToHz(p.omega_rad_per_s));
+    p1.y.push_back(p.phase_deg);
+  }
+  for (const auto& p : cap_bode.points()) {
+    p2.x.push_back(radPerSecToHz(p.omega_rad_per_s));
+    p2.y.push_back(p.phase_deg);
+  }
+  std::printf("%s", benchutil::asciiPlot({p1, p2}).c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark): event-kernel throughput, closed-loop
+// CP-PLL simulation rate, and the cost of one complete BIST point
+// measurement. These quantify the claim that the event-driven analytic
+// substrate simulates seconds of loop time in milliseconds of wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "bist/controller.hpp"
+#include "pll/config.hpp"
+#include "pll/cppll.hpp"
+#include "pll/sources.hpp"
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+
+namespace {
+
+using namespace pllbist;
+
+/// Raw kernel: a clock fanned out through a chain of gates.
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Circuit c;
+    const auto clk = c.addSignal("clk");
+    sim::ClockSource src(c, clk, 1e-6);
+    std::vector<sim::SignalId> nets{clk};
+    std::vector<std::unique_ptr<sim::Inverter>> chain;
+    for (int i = 0; i < 8; ++i) {
+      const auto out = c.addSignal("n" + std::to_string(i));
+      chain.push_back(std::make_unique<sim::Inverter>(c, nets.back(), out, 1e-9));
+      nets.push_back(out);
+    }
+    c.run(10e-3);  // 10k clock edges through 8 gates
+    benchmark::DoNotOptimize(c.processedEventCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000 * 9);
+}
+BENCHMARK(BM_EventKernel)->Unit(benchmark::kMillisecond);
+
+/// Closed-loop PLL: simulated seconds per wall second.
+void BM_ClosedLoopSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    const pll::PllConfig cfg = pll::scaledTestConfig();
+    sim::Circuit c;
+    const auto ext = c.addSignal("ext");
+    const auto stim = c.addSignal("stim");
+    const auto mk = c.addSignal("mk");
+    pll::SineFmSource::Config scfg;
+    scfg.nominal_hz = cfg.ref_frequency_hz;
+    pll::SineFmSource src(c, stim, mk, scfg);
+    pll::CpPll pll(c, ext, stim, cfg);
+    pll.setTestMode(true);
+    c.run(1.0);  // one simulated second at 100 kHz VCO
+    benchmark::DoNotOptimize(pll.controlVoltageNow());
+  }
+}
+BENCHMARK(BM_ClosedLoopSecond)->Unit(benchmark::kMillisecond);
+
+/// One complete BIST point (settle, phase count, hold, gate).
+void BM_BistPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    const pll::PllConfig cfg = pll::scaledTestConfig();
+    bist::SweepOptions opt = bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, 10);
+    opt.modulation_frequencies_hz = {200.0};
+    bist::BistController controller(cfg, opt);
+    benchmark::DoNotOptimize(controller.run().points.size());
+  }
+}
+BENCHMARK(BM_BistPoint)->Unit(benchmark::kMillisecond);
+
+/// Full reference sweep at paper scale, multi-tone.
+void BM_ReferenceSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const pll::PllConfig cfg = pll::referenceConfig();
+    bist::SweepOptions opt;
+    opt.stimulus = bist::StimulusKind::MultiToneFsk;
+    opt.modulation_frequencies_hz = bist::SweepOptions::defaultSweep(8.0, 6);
+    bist::BistController controller(cfg, opt);
+    benchmark::DoNotOptimize(controller.run().points.size());
+  }
+}
+BENCHMARK(BM_ReferenceSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 1: relationship between the nominal input frequency Fin_nom, the
+// DCO master reference Fref, the required maximum deviation Fmax, and the
+// achievable frequency resolution Fres (eqn (2)):
+//
+//   Fres = Fin_nom^2 / (Fref + Fin_nom)
+//
+// The paper's point: at high input frequencies the resolution collapses —
+// for the second case below no quantisation of the FM is possible at all
+// without raising Fref.
+
+#include <cstdio>
+
+#include "bist/dco.hpp"
+#include "sim/circuit.hpp"
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace pllbist;
+  benchutil::printHeader("Table 1 - DCO frequency resolution vs Fin_nom and Fref (eqn 2)");
+
+  struct Row {
+    double fin_nom_hz;
+    double fref_hz;
+    double fmax_required_hz;  // deviation the test wants (1% of Fin_nom)
+  };
+  const Row rows[] = {
+      {1e3, 1e6, 10.0},     // the paper's reference set-up
+      {10e3, 1e6, 100.0},   // faster PLL, same master
+      {10e3, 10e6, 100.0},  // faster PLL, faster master
+      {100e3, 10e6, 1e3},
+      {1e6, 10e6, 10e3},
+      {10e6, 100e6, 100e3},  // the paper's infeasible case
+  };
+
+  std::printf("\n%12s %12s %14s %14s %10s %12s\n", "Fin_nom", "Fref", "Fmax req.", "Fres (eqn2)",
+              "steps", "feasible?");
+  for (const Row& r : rows) {
+    const double fres = bist::Dco::resolutionEq2(r.fin_nom_hz, r.fref_hz);
+    const double steps = r.fmax_required_hz / fres;
+    std::printf("%10.4g Hz %10.4g Hz %11.4g Hz %11.4g Hz %10.1f %12s\n", r.fin_nom_hz, r.fref_hz,
+                r.fmax_required_hz, fres, steps, steps >= 1.0 ? "yes" : "NO");
+  }
+
+  benchutil::printSubHeader("eqn (2) vs simulated divider granularity");
+  std::printf("%12s %12s %16s %16s\n", "Fin_nom", "Fref", "Fres eqn(2)", "Fres simulated");
+  for (const Row& r : rows) {
+    if (r.fin_nom_hz >= r.fref_hz / 2.0) continue;  // divider cannot reach
+    sim::Circuit c;
+    const auto out = c.addSignal("dco");
+    bist::Dco dco(c, out,
+                  bist::Dco::Config{r.fref_hz,
+                                    std::max(2, static_cast<int>(r.fref_hz / r.fin_nom_hz)), 0.0});
+    std::printf("%10.4g Hz %10.4g Hz %13.4g Hz %13.4g Hz\n", r.fin_nom_hz, r.fref_hz,
+                bist::Dco::resolutionEq2(r.fin_nom_hz, r.fref_hz), dco.resolutionAt(r.fin_nom_hz));
+  }
+
+  std::printf(
+      "\nConclusion (paper section 3): Fres scales as Fin^2/Fref, so the only ways to\n"
+      "refine the stimulus are lowering Fin_nom or raising the DCO master clock -- the\n"
+      "\"high reference frequency\" drawback noted in the paper's conclusion.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Loop-design workshop: a designer sizes the passive loop filter for a
+// family of response targets with control::designForResponse, then uses the
+// BIST to verify each silicon-like device actually exhibits the designed
+// natural frequency and damping — the closed loop from specification to
+// measured confirmation.
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "control/cppll_model.hpp"
+#include "control/margins.hpp"
+#include "core/characterization.hpp"
+#include "pll/config.hpp"
+
+int main() {
+  using namespace pllbist;
+
+  struct Target {
+    const char* use_case;
+    double fn_hz;
+    double zeta;
+  };
+  const Target targets[] = {
+      {"narrow jitter filter", 100.0, 0.7},
+      {"reference design", 200.0, 0.43},
+      {"fast-settling hopper", 400.0, 0.5},
+      {"wideband tracker", 600.0, 0.6},
+  };
+
+  std::printf("%-22s | %8s %6s | %10s %10s | %9s %9s %9s\n", "use case", "fn tgt", "zeta",
+              "R1 (kohm)", "R2 (kohm)", "fn meas", "zeta meas", "f3dB meas");
+  for (const Target& t : targets) {
+    pll::PllConfig cfg;
+    try {
+      cfg = pll::scaledTestConfig(t.fn_hz, t.zeta);
+    } catch (const std::exception& e) {
+      std::printf("%-22s | %8.0f %6.2f | unreachable: %s\n", t.use_case, t.fn_hz, t.zeta,
+                  e.what());
+      continue;
+    }
+
+    const bist::SweepOptions sweep =
+        bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, 9);
+    const core::CharacterizationReport report = core::characterize(cfg, sweep);
+
+    // Classical stability margin of the designed open loop (broken at the
+    // comparator, divider folded in).
+    const control::LoopParameters lp = cfg.linearized();
+    const control::TransferFunction open_loop =
+        control::openLoopTf(lp) * (1.0 / lp.divider_n);
+    const control::LoopMargins margins = control::computeMargins(open_loop, 1.0, 1e6);
+
+    std::printf("%-22s | %8.0f %6.2f | %10.1f %10.2f | %9.1f %9.3f %9.1f | PM %5.1f deg\n",
+                t.use_case, t.fn_hz, t.zeta, cfg.pump.r1_ohm / 1e3, cfg.pump.r2_ohm / 1e3,
+                report.measured_fn_hz, report.measured_zeta, report.measured_f3db_hz,
+                margins.phase_margin_deg.value_or(0.0));
+  }
+
+  std::printf("\nFull report for the reference design:\n\n");
+  const pll::PllConfig cfg = pll::scaledTestConfig(200.0, 0.43);
+  const core::CharacterizationReport report =
+      core::characterize(cfg, bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, 10));
+  std::printf("%s", report.render().c_str());
+  std::printf("\nDesign notes: overdamped targets (zeta > ~0.7) have no magnitude peak, so the\n"
+              "BIST falls back to bandwidth-based checks — visible above as missing zeta\n"
+              "estimates when peaking is below the extraction threshold.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Command-line front end: run a BIST sweep or step test on a preset device
+// (optionally with an injected fault) and print or export the results.
+//
+//   sweep_cli [--device reference|fast|current] [--stimulus multi|two|sine|pm]
+//             [--points N] [--fault kind:magnitude] [--step] [--csv file]
+//
+// Examples:
+//   sweep_cli --device fast --stimulus multi --points 10
+//   sweep_cli --device fast --fault filter-c-drift:0.5 --csv out.csv
+//   sweep_cli --device current --step
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/pllbist.hpp"
+
+namespace {
+
+using namespace pllbist;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--device reference|fast|current] [--stimulus multi|two|sine|pm]\n"
+               "          [--points N] [--fault kind:magnitude] [--step] [--csv file]\n"
+               "fault kinds: vco-gain-drift vco-center-drift pump-up-weak pump-down-weak\n"
+               "             filter-r2-drift filter-c-drift filter-leak pfd-dead-zone\n"
+               "             divider-wrong-n\n",
+               argv0);
+  std::exit(2);
+}
+
+pll::FaultSpec parseFault(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) throw std::invalid_argument("fault needs kind:magnitude");
+  const std::string kind = text.substr(0, colon);
+  const double magnitude = std::stod(text.substr(colon + 1));
+  using K = pll::FaultSpec::Kind;
+  for (K k : {K::VcoGainDrift, K::VcoCenterDrift, K::PumpUpWeak, K::PumpDownWeak,
+              K::FilterR2Drift, K::FilterCDrift, K::FilterLeak, K::PfdDeadZone,
+              K::DividerWrongN}) {
+    if (to_string(k) == kind) return {k, magnitude};
+  }
+  throw std::invalid_argument("unknown fault kind: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string device = "fast";
+  std::string stimulus = "multi";
+  std::string csv_path;
+  std::string fault_text;
+  int points = 10;
+  bool step_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--device") device = next();
+    else if (arg == "--stimulus") stimulus = next();
+    else if (arg == "--points") points = std::stoi(next());
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--fault") fault_text = next();
+    else if (arg == "--step") step_mode = true;
+    else usage(argv[0]);
+  }
+
+  pll::PllConfig cfg;
+  if (device == "reference") cfg = pll::referenceConfig();
+  else if (device == "fast") cfg = pll::scaledTestConfig();
+  else if (device == "current") cfg = pll::scaledCurrentPumpConfig();
+  else usage(argv[0]);
+
+  if (!fault_text.empty()) {
+    const pll::FaultSpec fault = parseFault(fault_text);
+    cfg = pll::applyFault(cfg, fault);
+    std::printf("injected fault: %s\n", fault.describe().c_str());
+  }
+
+  const control::SecondOrderParams so = cfg.secondOrder();
+  std::printf("device %s: fref %.0f Hz, N %d, fn %.2f Hz, zeta %.3f\n", device.c_str(),
+              cfg.ref_frequency_hz, cfg.divider_n, radPerSecToHz(so.omega_n_rad_per_s), so.zeta);
+
+  if (step_mode) {
+    bist::StepTestOptions opt;
+    const double fn = radPerSecToHz(so.omega_n_rad_per_s);
+    opt.lock_wait_s = 10.0 / fn;
+    opt.freq_gate_s = 10.0 / fn;
+    opt.hold_to_gate_delay_s = 2.0 / cfg.ref_frequency_hz;
+    const bist::StepTestResult r = bist::runStepTest(cfg, opt);
+    std::printf("step test: nominal %.1f Hz, target %.1f Hz, peak %.1f Hz\n", r.nominal_hz,
+                r.target_hz, r.peak_hz);
+    std::printf("overshoot %.1f%%, peak time %.2f ms, relock %.2f ms%s\n",
+                r.overshoot_fraction * 100.0, r.peak_time_s * 1e3, r.relock_time_s * 1e3,
+                r.timed_out ? " [TIMEOUT]" : "");
+    if (r.zeta) std::printf("extracted zeta %.3f", *r.zeta);
+    if (r.natural_frequency_hz) std::printf(", fn %.1f Hz", *r.natural_frequency_hz);
+    std::printf("\n");
+    return r.timed_out ? 1 : 0;
+  }
+
+  bist::StimulusKind kind;
+  if (stimulus == "multi") kind = bist::StimulusKind::MultiToneFsk;
+  else if (stimulus == "two") kind = bist::StimulusKind::TwoToneFsk;
+  else if (stimulus == "sine") kind = bist::StimulusKind::PureSineFm;
+  else if (stimulus == "pm") kind = bist::StimulusKind::DelayLinePm;
+  else usage(argv[0]);
+
+  bist::BistController controller(cfg, bist::quickSweepOptions(cfg, kind, points));
+  controller.onPointMeasured([](const bist::MeasuredPoint& p) {
+    std::printf("  fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg%s\n", p.modulation_hz,
+                p.deviation_hz, p.phase_deg, p.timed_out ? " [TIMEOUT]" : "");
+  });
+  const bist::MeasuredResponse measured = controller.run();
+  const control::BodeResponse bode = measured.toBode();
+  const bist::ExtractedParameters p = bist::extractParameters(bode);
+
+  std::printf("nominal %.2f Hz, DC reference deviation %.2f Hz\n", measured.nominal_vco_hz,
+              measured.static_reference_deviation_hz);
+  std::printf("peak %.2f dB at %.2f Hz", p.peaking_db, p.peak_frequency_hz);
+  if (p.zeta) std::printf(", zeta %.3f", *p.zeta);
+  if (p.natural_frequency_hz) std::printf(", fn %.2f Hz", *p.natural_frequency_hz);
+  if (p.natural_frequency_from_phase_hz)
+    std::printf(" (phase-based %.2f Hz)", *p.natural_frequency_from_phase_hz);
+  if (p.bandwidth_3db_hz) std::printf(", f3dB %.2f Hz", *p.bandwidth_3db_hz);
+  std::printf("\n");
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    csv << "fm_hz,magnitude_db,phase_deg\n";
+    for (const control::BodePoint& bp : bode.points())
+      csv << radPerSecToHz(bp.omega_rad_per_s) << ',' << bp.magnitude_db << ',' << bp.phase_deg
+          << '\n';
+    std::printf("wrote %s (%zu points)\n", csv_path.c_str(), bode.size());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "control/bode.hpp"
+#include "pll/config.hpp"
+
+namespace pllbist::baseline {
+
+/// Which analog node the "bench equipment" probes (paper Figure 3: "the
+/// output response can be measured at the loop filter node or the VCO
+/// output").
+enum class ProbeNode {
+  LoopFilterVoltage,  ///< control-node voltage, converted to Hz via Kv
+  VcoFrequency,       ///< ground-truth instantaneous VCO frequency
+};
+
+/// Conventional bench-style closed-loop transfer-function measurement: an
+/// ideal sinusoidal FM generator drives the reference, and the response is
+/// probed *directly at an analog node* — exactly the test the paper's BIST
+/// exists to replace (it needs the analog access an embedded PLL lacks).
+///
+/// Amplitude and phase are extracted with a least-squares sine fit at the
+/// known modulation frequency, and the response is absolutely calibrated
+/// (bench gear knows the stimulus amplitude), so this measures the true
+/// closed-loop H(j*omega) including the filter zero — the reference curve
+/// the BIST results are judged against.
+struct BenchOptions {
+  double deviation_hz = 10.0;
+  std::vector<double> modulation_frequencies_hz;  ///< ascending, positive
+  ProbeNode probe = ProbeNode::VcoFrequency;
+  int settle_periods = 4;      ///< modulation periods discarded before fitting
+  int measure_periods = 6;     ///< modulation periods fitted
+  int samples_per_period = 64; ///< probe sampling density
+  double lock_wait_s = 1.0;
+
+  void validate() const;
+};
+
+struct BenchPoint {
+  double modulation_hz = 0.0;
+  double gain = 0.0;         ///< |H| (absolute, unity in-band)
+  double phase_deg = 0.0;    ///< relative to the stimulus modulation, in (-360, 0]
+  double fit_residual_rms = 0.0;
+};
+
+struct BenchResult {
+  std::vector<BenchPoint> points;
+  [[nodiscard]] control::BodeResponse toBode() const;
+};
+
+/// Run the full bench sweep on a simulated DUT. Synchronous; builds its own
+/// circuit.
+BenchResult measureBench(const pll::PllConfig& config, const BenchOptions& options);
+
+}  // namespace pllbist::baseline

@@ -1,0 +1,99 @@
+#include "bist/analysis.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "control/second_order.hpp"
+
+namespace pllbist::bist {
+
+ExtractedParameters extractParameters(const control::BodeResponse& response) {
+  ExtractedParameters out;
+  const control::ResponsePeak peak = response.peak();
+  out.peak_frequency_hz = radPerSecToHz(peak.omega_rad_per_s);
+  out.peaking_db = peak.magnitude_db - response.inBandMagnitudeDb();
+  out.phase_at_peak_deg = response.phaseDegAt(peak.omega_rad_per_s);
+
+  if (out.peaking_db > 0.05) {  // below ~0.05 dB the inversion is numeric noise
+    const double z = control::dampingFromPeakingDb(out.peaking_db);
+    out.zeta = z;
+    if (z < 0.7071)
+      out.natural_frequency_hz =
+          radPerSecToHz(control::naturalFrequencyFromPeak(peak.omega_rad_per_s, z));
+  }
+  if (auto w3 = response.bandwidth3Db()) out.bandwidth_3db_hz = radPerSecToHz(*w3);
+  // Reference the phase to the in-band point (the paper's convention: the
+  // first measurement's lag is approximated to zero), then find -90.
+  const double phase_ref = response.points().front().phase_deg;
+  for (size_t i = 1; i < response.size(); ++i) {
+    const double a = response.points()[i - 1].phase_deg - phase_ref;
+    const double b = response.points()[i].phase_deg - phase_ref;
+    if (a > -90.0 && b <= -90.0) {
+      const double t = (-90.0 - a) / (b - a);
+      const double lw = std::log(response.points()[i - 1].omega_rad_per_s) +
+                        t * (std::log(response.points()[i].omega_rad_per_s) -
+                             std::log(response.points()[i - 1].omega_rad_per_s));
+      out.natural_frequency_from_phase_hz = radPerSecToHz(std::exp(lw));
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void checkRange(TestVerdict& verdict, const char* name, std::optional<double> value,
+                std::optional<double> lo, std::optional<double> hi) {
+  if (!lo && !hi) return;
+  char buf[160];
+  if (!value) {
+    std::snprintf(buf, sizeof buf, "%s: not extractable from response", name);
+    verdict.pass = false;
+    verdict.failures.emplace_back(buf);
+    return;
+  }
+  if (lo && *value < *lo) {
+    std::snprintf(buf, sizeof buf, "%s: %.4g below limit %.4g", name, *value, *lo);
+    verdict.pass = false;
+    verdict.failures.emplace_back(buf);
+  }
+  if (hi && *value > *hi) {
+    std::snprintf(buf, sizeof buf, "%s: %.4g above limit %.4g", name, *value, *hi);
+    verdict.pass = false;
+    verdict.failures.emplace_back(buf);
+  }
+}
+
+}  // namespace
+
+TestVerdict checkLimits(const ExtractedParameters& p, const TestLimits& limits) {
+  TestVerdict verdict;
+  checkRange(verdict, "natural_frequency_hz", p.natural_frequency_hz,
+             limits.min_natural_frequency_hz, limits.max_natural_frequency_hz);
+  checkRange(verdict, "zeta", p.zeta, limits.min_zeta, limits.max_zeta);
+  checkRange(verdict, "peaking_db", p.peaking_db, std::nullopt, limits.max_peaking_db);
+  checkRange(verdict, "bandwidth_3db_hz", p.bandwidth_3db_hz, limits.min_bandwidth_3db_hz,
+             limits.max_bandwidth_3db_hz);
+  return verdict;
+}
+
+TestLimits limitsFromGolden(const ExtractedParameters& golden, double tolerance) {
+  TestLimits limits;
+  if (golden.natural_frequency_hz) {
+    limits.min_natural_frequency_hz = *golden.natural_frequency_hz * (1.0 - tolerance);
+    limits.max_natural_frequency_hz = *golden.natural_frequency_hz * (1.0 + tolerance);
+  }
+  if (golden.zeta) {
+    limits.min_zeta = *golden.zeta * (1.0 - tolerance);
+    limits.max_zeta = *golden.zeta * (1.0 + tolerance);
+  }
+  if (golden.bandwidth_3db_hz) {
+    limits.min_bandwidth_3db_hz = *golden.bandwidth_3db_hz * (1.0 - tolerance);
+    limits.max_bandwidth_3db_hz = *golden.bandwidth_3db_hz * (1.0 + tolerance);
+  }
+  limits.max_peaking_db = golden.peaking_db + 20.0 * std::log10(1.0 + tolerance);
+  return limits;
+}
+
+}  // namespace pllbist::bist

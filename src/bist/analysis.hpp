@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/bode.hpp"
+
+namespace pllbist::bist {
+
+/// Loop parameters extracted from a (measured or theoretical) closed-loop
+/// magnitude/phase response — the quantities the paper says the test gives
+/// access to: natural frequency, damping and the one-sided -3 dB bandwidth
+/// (section 1 and section 2).
+struct ExtractedParameters {
+  double peak_frequency_hz = 0.0;   ///< omega_p location (~ fn for light damping)
+  double peaking_db = 0.0;          ///< peak above the in-band reference
+  std::optional<double> zeta;       ///< from peaking (absent if no peaking)
+  std::optional<double> natural_frequency_hz;  ///< fn corrected from omega_p and zeta
+  /// Independent fn estimate from the -90 degree phase crossing (exact for
+  /// the two-pole capacitor-node response regardless of damping, and
+  /// available even when the curve doesn't peak). Comparing the two
+  /// estimates is a built-in measurement consistency check.
+  std::optional<double> natural_frequency_from_phase_hz;
+  std::optional<double> bandwidth_3db_hz;
+  double phase_at_peak_deg = 0.0;
+};
+
+/// Extract parameters from a response sampled densely enough to resolve the
+/// peak. Throws std::domain_error on an empty response.
+ExtractedParameters extractParameters(const control::BodeResponse& response);
+
+/// Pass/fail limits for an on-chip comparison (the "comparison against on
+/// chip limits" use the paper proposes). Any unset optional is not checked.
+struct TestLimits {
+  std::optional<double> min_natural_frequency_hz;
+  std::optional<double> max_natural_frequency_hz;
+  std::optional<double> min_zeta;
+  std::optional<double> max_zeta;
+  std::optional<double> max_peaking_db;
+  std::optional<double> min_bandwidth_3db_hz;
+  std::optional<double> max_bandwidth_3db_hz;
+};
+
+struct TestVerdict {
+  bool pass = true;
+  std::vector<std::string> failures;  ///< human-readable limit violations
+};
+
+/// Compare extracted parameters against limits. Parameters that could not
+/// be extracted (empty optionals) fail any limit set on them.
+TestVerdict checkLimits(const ExtractedParameters& params, const TestLimits& limits);
+
+/// Limits derived from a golden (fault-free) device with symmetric
+/// tolerance bands: e.g. tolerance = 0.25 allows +/-25% on fn, zeta and
+/// bandwidth.
+TestLimits limitsFromGolden(const ExtractedParameters& golden, double tolerance);
+
+}  // namespace pllbist::bist

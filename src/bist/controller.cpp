@@ -1,0 +1,246 @@
+#include "bist/controller.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "bist/dco.hpp"
+#include "bist/delay_line.hpp"
+#include "bist/modulator.hpp"
+#include "bist/peak_detector.hpp"
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "control/grid.hpp"
+#include "pll/cppll.hpp"
+#include "pll/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace pllbist::bist {
+
+const char* to_string(StimulusKind kind) {
+  switch (kind) {
+    case StimulusKind::MultiToneFsk: return "multi-tone-fsk";
+    case StimulusKind::TwoToneFsk: return "two-tone-fsk";
+    case StimulusKind::PureSineFm: return "pure-sine-fm";
+    case StimulusKind::DelayLinePm: return "delay-line-pm";
+  }
+  return "unknown";
+}
+
+void SweepOptions::validate() const {
+  if (fm_steps < 2) throw std::invalid_argument("SweepOptions: fm_steps must be >= 2");
+  if (deviation_hz <= 0.0) throw std::invalid_argument("SweepOptions: deviation must be positive");
+  if (modulation_frequencies_hz.empty())
+    throw std::invalid_argument("SweepOptions: need at least one modulation frequency");
+  for (size_t i = 0; i < modulation_frequencies_hz.size(); ++i) {
+    if (modulation_frequencies_hz[i] <= 0.0)
+      throw std::invalid_argument("SweepOptions: modulation frequencies must be positive");
+    if (i > 0 && modulation_frequencies_hz[i] <= modulation_frequencies_hz[i - 1])
+      throw std::invalid_argument("SweepOptions: modulation frequencies must be ascending");
+  }
+  if (master_clock_hz <= 0.0) throw std::invalid_argument("SweepOptions: master clock must be positive");
+  if (pm_taps < 2) throw std::invalid_argument("SweepOptions: pm_taps must be >= 2");
+  if (pm_tap_delay_s < 0.0) throw std::invalid_argument("SweepOptions: pm_tap_delay must be >= 0");
+  if (lock_wait_s < 0.0) throw std::invalid_argument("SweepOptions: lock wait must be >= 0");
+  if (static_settle_s <= 0.0)
+    throw std::invalid_argument("SweepOptions: static settle must be positive");
+  sequencer.validate();
+}
+
+std::vector<double> SweepOptions::defaultSweep(double fn_hz, int points) {
+  if (fn_hz <= 0.0) throw std::invalid_argument("defaultSweep: fn must be positive");
+  // fn/4 to 5x fn: below ~fn/4 the FSK slot rate drops under the loop
+  // bandwidth and the loop tracks individual steps (the stimulus stops
+  // looking sinusoidal); the DC parked-offset reference anchors the 0 dB
+  // asymptote instead.
+  return control::logspace(fn_hz / 4.0, fn_hz * 5.0, points);
+}
+
+control::BodeResponse MeasuredResponse::toBode() const {
+  if (points.empty()) throw std::domain_error("MeasuredResponse: no points");
+  const double eqn7_ref = static_reference_deviation_hz > 0.0 ? static_reference_deviation_hz
+                                                              : points.front().deviation_hz;
+  std::vector<control::BodePoint> pts;
+  pts.reserve(points.size());
+  for (const MeasuredPoint& p : points) {
+    if (p.timed_out) continue;  // dead points excluded from the plot
+    // Per-point absolute normalisation when available (PM); otherwise the
+    // eqn (7) common reference (FM).
+    const double ref = p.unity_gain_deviation_hz > 0.0 ? p.unity_gain_deviation_hz : eqn7_ref;
+    if (ref <= 0.0)
+      throw std::domain_error("MeasuredResponse: no usable reference deviation");
+    const double dev = std::max(p.deviation_hz, 1e-12);
+    pts.push_back({hzToRadPerSec(p.modulation_hz), amplitudeToDb(dev / ref), p.phase_deg});
+  }
+  // The raw per-point lag lives in (-360, 0], which is ambiguous by a full
+  // turn: a point whose true lag is a few degrees but jitters slightly
+  // *ahead* of the marker reads as ~-360. Anchor the first (most in-band)
+  // point into (-180, 180]; BodeResponse unwraps the rest relative to it.
+  if (!pts.empty()) {
+    while (pts.front().phase_deg <= -180.0) pts.front().phase_deg += 360.0;
+  }
+  return control::BodeResponse::fromPoints(std::move(pts));
+}
+
+SweepOptions quickSweepOptions(const pll::PllConfig& config, StimulusKind stimulus, int points) {
+  config.validate();
+  SweepOptions opt;
+  opt.stimulus = stimulus;
+  opt.deviation_hz = config.ref_frequency_hz * 0.01;
+  opt.master_clock_hz = config.ref_frequency_hz * 1000.0;
+  const double fn_hz = radPerSecToHz(config.secondOrder().omega_n_rad_per_s);
+  opt.modulation_frequencies_hz = SweepOptions::defaultSweep(fn_hz, points);
+  // ~10 natural periods of lock/settle margin, gate sized for ~0.5% count
+  // resolution on a 1% deviation at the VCO.
+  opt.lock_wait_s = 10.0 / fn_hz;
+  opt.static_settle_s = 10.0 / fn_hz;
+  opt.sequencer.freq_gate_s = 10.0 / fn_hz;
+  opt.sequencer.hold_to_gate_delay_s = 2.0 / config.ref_frequency_hz;
+  return opt;
+}
+
+std::vector<double> MeasuredResponse::modulationFrequencies() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const MeasuredPoint& p : points) out.push_back(p.modulation_hz);
+  return out;
+}
+
+BistController::BistController(const pll::PllConfig& pll_config, SweepOptions options)
+    : pll_config_(pll_config), options_(std::move(options)) {
+  pll_config_.validate();
+  options_.validate();
+}
+
+MeasuredResponse BistController::run() {
+  if (used_) throw std::logic_error("BistController::run: controller already used");
+  used_ = true;
+
+  sim::Circuit c;
+  const sim::SignalId ext_ref = c.addSignal("ext_ref");  // unused normal-mode input
+  const sim::SignalId stim_out = c.addSignal("stimulus");
+  const sim::SignalId stim_marker = c.addSignal("stim_peak");
+
+  // Stimulus path (Figure 4 / section 3, or the delay line of the
+  // further-work discussion).
+  std::unique_ptr<Dco> dco;
+  std::unique_ptr<FskModulator> modulator;
+  std::unique_ptr<pll::SineFmSource> sine_source;
+  std::unique_ptr<sim::ClockSource> pm_clock;
+  std::unique_ptr<DelayLineModulator> delay_line;
+  double pm_theta_dev_rad = 0.0;
+  StimulusHooks hooks;
+  if (options_.stimulus == StimulusKind::DelayLinePm) {
+    const auto raw_ref = c.addSignal("pm_raw_ref");
+    pm_clock = std::make_unique<sim::ClockSource>(c, raw_ref, 1.0 / pll_config_.ref_frequency_hz);
+    DelayLineModulator::Config dl;
+    dl.taps = options_.pm_taps;
+    dl.tap_delay_s = options_.pm_tap_delay_s > 0.0
+                         ? options_.pm_tap_delay_s
+                         : 1.0 / (8.0 * pll_config_.ref_frequency_hz *
+                                  static_cast<double>(options_.pm_taps - 1));
+    dl.steps = options_.fm_steps;
+    dl.nominal_hz = pll_config_.ref_frequency_hz;
+    delay_line = std::make_unique<DelayLineModulator>(c, raw_ref, stim_out, stim_marker, dl);
+    pm_theta_dev_rad = delay_line->phaseDeviationRad();
+    hooks.start = [&dl_mod = *delay_line](double fm) { dl_mod.start(fm); };
+    hooks.stop = [&dl_mod = *delay_line] { dl_mod.stop(); };
+    hooks.park = [&dl_mod = *delay_line] { dl_mod.stop(); };  // PM has no DC offset
+  } else if (options_.stimulus == StimulusKind::PureSineFm) {
+    pll::SineFmSource::Config scfg;
+    scfg.nominal_hz = pll_config_.ref_frequency_hz;
+    scfg.deviation_hz = 0.0;  // CW until a point starts
+    scfg.modulation_hz = 0.0;
+    sine_source = std::make_unique<pll::SineFmSource>(c, stim_out, stim_marker, scfg);
+    const double carrier = pll_config_.ref_frequency_hz;
+    hooks.start = [this, &src = *sine_source, carrier](double fm) {
+      src.setCarrier(carrier);
+      src.setModulation(fm, options_.deviation_hz);
+    };
+    hooks.stop = [&src = *sine_source, carrier] {
+      src.setModulation(0.0, 0.0);
+      src.setCarrier(carrier);
+    };
+    hooks.park = [this, &src = *sine_source, carrier] {
+      src.setModulation(0.0, 0.0);
+      src.setCarrier(carrier + options_.deviation_hz);
+    };
+  } else {
+    Dco::Config dcfg;
+    dcfg.master_clock_hz = options_.master_clock_hz;
+    dcfg.initial_modulus = std::max(
+        2, static_cast<int>(std::lround(options_.master_clock_hz / pll_config_.ref_frequency_hz)));
+    dco = std::make_unique<Dco>(c, stim_out, dcfg);
+    FskModulator::Config mcfg;
+    mcfg.waveform = options_.stimulus == StimulusKind::TwoToneFsk ? StimulusWaveform::TwoToneFsk
+                                                                  : StimulusWaveform::MultiToneFsk;
+    mcfg.steps = options_.fm_steps;
+    mcfg.nominal_hz = pll_config_.ref_frequency_hz;
+    mcfg.deviation_hz = options_.deviation_hz;
+    modulator = std::make_unique<FskModulator>(c, *dco, stim_marker, mcfg);
+    hooks.start = [&mod = *modulator](double fm) { mod.start(fm); };
+    hooks.stop = [&mod = *modulator] { mod.stop(); };
+    hooks.park = [&mod = *modulator] { mod.park(); };
+  }
+
+  // Device under test with the M1/M2 test muxes.
+  pll::CpPll pll(c, ext_ref, stim_out, pll_config_);
+  pll.setTestMode(true);
+
+  // Response capture (Figure 6/7).
+  PeakDetector peak_detector(c, pll.ref(), pll.feedback(), pll_config_.pfd, PeakDetectorDelays{});
+  TestSequencer sequencer(c, pll, hooks, peak_detector, stim_marker, pll.vcoOut(),
+                          options_.master_clock_hz, options_.sequencer);
+
+  // Let the loop acquire lock before measuring anything.
+  c.run(options_.lock_wait_s);
+
+  auto waitFor = [&c](bool& flag) {
+    while (!flag) {
+      if (!c.step()) throw AssertionError("BistController: event queue ran dry mid-measurement");
+    }
+  };
+
+  MeasuredResponse result;
+  bool nominal_done = false;
+  sequencer.measureNominal([&](double hz) {
+    result.nominal_vco_hz = hz;
+    nominal_done = true;
+  });
+  waitFor(nominal_done);
+
+  // PM has no DC reference (a parked phase offset yields no steady output
+  // deviation); its points are normalised absolutely instead.
+  if (options_.stimulus != StimulusKind::DelayLinePm) {
+    bool ref_done = false;
+    sequencer.measureStaticReference(options_.static_settle_s, [&](double hz) {
+      result.static_reference_deviation_hz = hz - result.nominal_vco_hz;
+      ref_done = true;
+    });
+    waitFor(ref_done);
+  }
+
+  for (double fm : options_.modulation_frequencies_hz) {
+    bool point_done = false;
+    sequencer.measurePoint(fm, [&](TestSequencer::PointResult r) {
+      MeasuredPoint p;
+      p.modulation_hz = r.modulation_hz;
+      p.deviation_hz = r.held_frequency_hz - result.nominal_vco_hz;
+      p.phase_deg = r.phase_deg;
+      p.timed_out = r.timed_out;
+      if (options_.stimulus == StimulusKind::DelayLinePm) {
+        // Input frequency deviation of PM: theta_dev * fm (Hz).
+        p.unity_gain_deviation_hz =
+            pm_theta_dev_rad * fm * static_cast<double>(pll_config_.divider_n);
+      }
+      result.points.push_back(p);
+      result.raw.push_back(std::move(r));
+      point_done = true;
+    });
+    waitFor(point_done);
+    if (progress_) progress_(result.points.back());
+  }
+  return result;
+}
+
+}  // namespace pllbist::bist

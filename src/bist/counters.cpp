@@ -1,0 +1,50 @@
+#include "bist/counters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace pllbist::bist {
+
+FrequencyCounter::FrequencyCounter(sim::Circuit& c, sim::SignalId in)
+    : circuit_(c), counter_(c, in) {}
+
+void FrequencyCounter::measure(double gate_s, std::function<void(Result)> done) {
+  if (gate_s <= 0.0) throw std::invalid_argument("FrequencyCounter: gate must be positive");
+  if (busy_) throw std::logic_error("FrequencyCounter: measurement already in flight");
+  busy_ = true;
+  counter_.start();
+  circuit_.scheduleCallback(circuit_.now() + gate_s,
+                            [this, gate_s, done = std::move(done)](double) {
+                              counter_.stop();
+                              busy_ = false;
+                              done(Result{counter_.count(), gate_s});
+                            });
+}
+
+PhaseCounter::PhaseCounter(double test_clock_hz) : test_clock_hz_(test_clock_hz) {
+  if (test_clock_hz <= 0.0) throw std::invalid_argument("PhaseCounter: clock must be positive");
+}
+
+void PhaseCounter::arm(double now_s) {
+  arm_time_ = now_s;
+  armed_ = true;
+}
+
+long PhaseCounter::capture(double now_s) {
+  if (!armed_) throw std::logic_error("PhaseCounter: capture without arm");
+  armed_ = false;
+  PLLBIST_ASSERT(now_s >= arm_time_);
+  // Whole test-clock periods elapsed — the register value of a counter
+  // clocked at test_clock_hz and gated between the two events.
+  return static_cast<long>(std::floor((now_s - arm_time_) * test_clock_hz_));
+}
+
+double PhaseCounter::phaseDelayDeg(long count, double test_clock_hz, double modulation_hz) {
+  if (test_clock_hz <= 0.0 || modulation_hz <= 0.0)
+    throw std::invalid_argument("phaseDelayDeg: rates must be positive");
+  return -360.0 * (static_cast<double>(count) / test_clock_hz) * modulation_hz;
+}
+
+}  // namespace pllbist::bist

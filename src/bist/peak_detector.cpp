@@ -1,0 +1,39 @@
+#include "bist/peak_detector.hpp"
+
+#include <stdexcept>
+
+namespace pllbist::bist {
+
+void PeakDetectorDelays::validate() const {
+  if (clock_delay_s <= 0.0 || inverter_delay_s <= 0.0 || latch_delay_s <= 0.0)
+    throw std::invalid_argument("PeakDetectorDelays: delays must be positive");
+  if (inverter_delay_s <= clock_delay_s)
+    throw std::invalid_argument(
+        "PeakDetectorDelays: inverter delay must exceed clock delay so the sample "
+        "looks past the dead-zone glitch");
+}
+
+PeakDetector::PeakDetector(sim::Circuit& c, sim::SignalId ref, sim::SignalId fb,
+                           const pll::PfdDelays& pfd_delays, const PeakDetectorDelays& delays,
+                           const std::string& prefix)
+    : circuit_(c),
+      clk_delayed_(c.addSignal(prefix + ".clk")),
+      dn_inverted_(c.addSignal(prefix + ".dnb", true)),
+      mfreq_(c.addSignal(prefix + ".mfreq")) {
+  delays.validate();
+  pfd_ = std::make_unique<pll::Pfd>(c, ref, fb, pfd_delays, prefix + ".pfd");
+  clock_buffer_ = std::make_unique<sim::Buffer>(c, pfd_->up(), clk_delayed_, delays.clock_delay_s);
+  data_inverter_ = std::make_unique<sim::Inverter>(c, pfd_->dn(), dn_inverted_, delays.inverter_delay_s);
+  sampler_ = std::make_unique<sim::DFlipFlop>(c, clk_delayed_, dn_inverted_, mfreq_,
+                                              delays.latch_delay_s);
+}
+
+void PeakDetector::onMaxFrequency(sim::Circuit::EdgeCallback cb) {
+  circuit_.onFallingEdge(mfreq_, std::move(cb));
+}
+
+void PeakDetector::onMinFrequency(sim::Circuit::EdgeCallback cb) {
+  circuit_.onRisingEdge(mfreq_, std::move(cb));
+}
+
+}  // namespace pllbist::bist

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pll/pfd.hpp"
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+
+namespace pllbist::bist {
+
+/// Timing of the peak-detector support gates around the monitor PFD.
+struct PeakDetectorDelays {
+  double clock_delay_s = 2e-9;     ///< buffer from PFDUP to the sampling clock
+  double inverter_delay_s = 12e-9; ///< delay+invert on PFDDN (the Figure 7 trick)
+  double latch_delay_s = 3e-9;     ///< sampling flop clk->q
+  void validate() const;
+};
+
+/// The paper's novel output-frequency peak detector (section 4.2, Figure 7).
+///
+/// A second, monitor-only PFD watches PLLREF against PLLFB. In a locked
+/// CP-PLL the capacitor voltage integrates the phase error, so the VCO
+/// frequency is at an extremum exactly when the phase error crosses zero —
+/// i.e. when the lead/lag relationship between the PFD inputs reverses.
+/// A flop samples the delayed-and-inverted PFDDN on (delayed) PFDUP rising
+/// edges: the inverter delay makes the sample look *backwards* past the
+/// dead-zone glitch, so near-coincident edges cannot corrupt it.
+///
+/// The resulting MFREQ net is high while PLLREF leads (VCO frequency
+/// rising); its falling edge marks the output-frequency *maximum*, the
+/// rising edge the minimum. Subscribers use those edges to stop the phase
+/// counter and trigger loop hold (Table 2 stages 2-3).
+class PeakDetector : public sim::Component {
+ public:
+  PeakDetector(sim::Circuit& c, sim::SignalId ref, sim::SignalId fb,
+               const pll::PfdDelays& pfd_delays, const PeakDetectorDelays& delays,
+               const std::string& prefix = "peakdet");
+
+  /// High while PLLREF leads (output frequency increasing).
+  [[nodiscard]] sim::SignalId mfreq() const { return mfreq_; }
+  /// Monitor-PFD outputs, exposed for the Figure 8 waveform dumps.
+  [[nodiscard]] sim::SignalId monitorUp() const { return pfd_->up(); }
+  [[nodiscard]] sim::SignalId monitorDn() const { return pfd_->dn(); }
+
+  /// Subscribe to output-frequency extremum events.
+  void onMaxFrequency(sim::Circuit::EdgeCallback cb);
+  void onMinFrequency(sim::Circuit::EdgeCallback cb);
+
+ private:
+  sim::Circuit& circuit_;
+  sim::SignalId clk_delayed_;
+  sim::SignalId dn_inverted_;
+  sim::SignalId mfreq_;
+  std::unique_ptr<pll::Pfd> pfd_;
+  std::unique_ptr<sim::Buffer> clock_buffer_;
+  std::unique_ptr<sim::Inverter> data_inverter_;
+  std::unique_ptr<sim::DFlipFlop> sampler_;
+};
+
+}  // namespace pllbist::bist

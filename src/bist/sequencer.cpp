@@ -1,0 +1,160 @@
+#include "bist/sequencer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace pllbist::bist {
+
+void TestSequencer::Options::validate() const {
+  if (settle_periods < 1) throw std::invalid_argument("TestSequencer: settle_periods must be >= 1");
+  if (average_periods < 1) throw std::invalid_argument("TestSequencer: average_periods must be >= 1");
+  if (freq_gate_s <= 0.0) throw std::invalid_argument("TestSequencer: gate must be positive");
+  if (hold_to_gate_delay_s < 0.0)
+    throw std::invalid_argument("TestSequencer: hold_to_gate_delay must be >= 0");
+  if (timeout_periods <= static_cast<double>(settle_periods + average_periods))
+    throw std::invalid_argument("TestSequencer: timeout must exceed settle+average periods");
+  if (peak_qualify_fraction < 0.0 || peak_qualify_fraction >= 0.5)
+    throw std::invalid_argument("TestSequencer: peak_qualify_fraction must be in [0, 0.5)");
+}
+
+TestSequencer::TestSequencer(sim::Circuit& c, pll::CpPll& pll, StimulusHooks stimulus,
+                             PeakDetector& peak_detector, sim::SignalId stimulus_peak_marker,
+                             sim::SignalId counted_signal, double test_clock_hz, Options options)
+    : circuit_(c),
+      pll_(pll),
+      stimulus_(std::move(stimulus)),
+      freq_counter_(c, counted_signal),
+      phase_counter_(test_clock_hz),
+      options_(options) {
+  options_.validate();
+  if (!stimulus_.start || !stimulus_.stop || !stimulus_.park)
+    throw std::invalid_argument("TestSequencer: stimulus hooks must be set");
+  c.onRisingEdge(stimulus_peak_marker, [this](double now) { handleStimulusPeak(now); });
+  peak_detector.onMinFrequency([this](double now) { handleMfreqRise(now); });
+  peak_detector.onMaxFrequency([this](double now) { handleOutputPeak(now); });
+}
+
+void TestSequencer::measurePoint(double modulation_hz, std::function<void(PointResult)> done) {
+  if (modulation_hz <= 0.0) throw std::invalid_argument("measurePoint: modulation must be positive");
+  if (stage_ != Stage::Idle) throw std::logic_error("measurePoint: sequencer busy");
+
+  current_ = PointResult{};
+  current_.modulation_hz = modulation_hz;
+  done_ = std::move(done);
+  waiting_for_output_peak_ = false;
+  const unsigned id = ++sequence_id_;
+  const double period = 1.0 / modulation_hz;
+
+  stage_ = Stage::Settle;
+  stimulus_.start(modulation_hz);
+  circuit_.scheduleCallback(circuit_.now() + options_.settle_periods * period,
+                            [this, id](double) {
+                              if (id != sequence_id_ || stage_ != Stage::Settle) return;
+                              stage_ = Stage::PhaseMeasure;
+                            });
+  // Watchdog: a broken loop (no output peaks) must not hang the BIST. The
+  // deadline budgets for the hold gate, which runs at wall-clock (gate)
+  // speed rather than in modulation periods.
+  const double deadline = circuit_.now() + options_.timeout_periods * period +
+                          options_.hold_to_gate_delay_s + options_.freq_gate_s;
+  circuit_.scheduleCallback(deadline, [this, id](double now) {
+                              if (id != sequence_id_ || stage_ == Stage::Idle) return;
+                              current_.timed_out = true;
+                              finish(now);
+                            });
+}
+
+void TestSequencer::handleStimulusPeak(double now) {
+  if (stage_ != Stage::PhaseMeasure) return;
+  if (waiting_for_output_peak_) return;  // still waiting on the previous period
+  phase_counter_.arm(now);
+  waiting_for_output_peak_ = true;
+}
+
+void TestSequencer::handleMfreqRise(double now) { mfreq_rise_time_ = now; }
+
+void TestSequencer::handleOutputPeak(double now) {
+  // Debounce: the output peak is the MFREQ fall after a sustained high run;
+  // FSK step transients flip MFREQ only briefly.
+  if (options_.peak_qualify_fraction > 0.0 && current_.modulation_hz > 0.0) {
+    const double min_high = options_.peak_qualify_fraction / current_.modulation_hz;
+    if (mfreq_rise_time_ < 0.0 || now - mfreq_rise_time_ < min_high) return;
+  }
+  if (stage_ == Stage::PhaseMeasure) {
+    if (!waiting_for_output_peak_) return;
+    current_.phase_counts.push_back(phase_counter_.capture(now));
+    waiting_for_output_peak_ = false;
+    if (static_cast<int>(current_.phase_counts.size()) >= options_.average_periods)
+      stage_ = Stage::AwaitPeakForHold;
+    return;
+  }
+  if (stage_ == Stage::AwaitPeakForHold) {
+    // Table 2 stage 3: park the loop at the output maximum.
+    pll_.setHold(true);
+    current_.hold_time_s = now;
+    stage_ = Stage::HoldCount;
+    const unsigned id = sequence_id_;
+    circuit_.scheduleCallback(now + options_.hold_to_gate_delay_s, [this, id](double) {
+      if (id != sequence_id_ || stage_ != Stage::HoldCount) return;
+      freq_counter_.measure(options_.freq_gate_s, [this, id](FrequencyCounter::Result r) {
+        if (id != sequence_id_ || stage_ != Stage::HoldCount) return;
+        current_.held_count = r.count;
+        current_.gate_s = r.gate_s;
+        current_.held_frequency_hz = r.frequencyHz();
+        pll_.setHold(false);
+        finish(circuit_.now());
+      });
+    });
+  }
+}
+
+void TestSequencer::finish(double /*now*/) {
+  // Circular mean of the per-period phase delays: robust when the lag sits
+  // near the 0/-360 wrap (jitter would otherwise split the samples).
+  double sx = 0.0, sy = 0.0;
+  for (long count : current_.phase_counts) {
+    const double deg = PhaseCounter::phaseDelayDeg(count, phase_counter_.testClockHz(),
+                                                   current_.modulation_hz);
+    sx += std::cos(degToRad(deg));
+    sy += std::sin(degToRad(deg));
+  }
+  if (!current_.phase_counts.empty()) {
+    double mean = radToDeg(std::atan2(sy, sx));
+    if (mean > 0.0) mean -= 360.0;  // report as a lag in (-360, 0]
+    current_.phase_deg = mean;
+  }
+  if (pll_.holdAsserted()) pll_.setHold(false);
+  stage_ = Stage::Idle;
+  ++sequence_id_;
+  if (done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(current_);
+  }
+}
+
+void TestSequencer::measureStaticReference(double settle_s, std::function<void(double hz)> done) {
+  if (stage_ != Stage::Idle) throw std::logic_error("measureStaticReference: sequencer busy");
+  if (settle_s <= 0.0) throw std::invalid_argument("measureStaticReference: settle must be positive");
+  stimulus_.park();
+  circuit_.scheduleCallback(circuit_.now() + settle_s, [this, done = std::move(done)](double) {
+    freq_counter_.measure(options_.freq_gate_s, [this, done](FrequencyCounter::Result r) {
+      stimulus_.stop();
+      done(r.frequencyHz());
+    });
+  });
+}
+
+void TestSequencer::measureNominal(std::function<void(double hz)> done) {
+  if (stage_ != Stage::Idle) throw std::logic_error("measureNominal: sequencer busy");
+  stimulus_.stop();
+  freq_counter_.measure(options_.freq_gate_s,
+                        [done = std::move(done)](FrequencyCounter::Result r) {
+                          done(r.frequencyHz());
+                        });
+}
+
+}  // namespace pllbist::bist

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bist/counters.hpp"
+#include "bist/peak_detector.hpp"
+#include "pll/cppll.hpp"
+#include "sim/circuit.hpp"
+
+namespace pllbist::bist {
+
+/// Abstracts "the block that modulates the PLL reference" so the sequencer
+/// drives the DCO/FSK path and the ideal sine-FM source identically.
+struct StimulusHooks {
+  std::function<void(double modulation_hz)> start;
+  std::function<void()> stop;
+  /// Park the reference statically at nominal + full deviation (the crest
+  /// frequency, held). Used for the DC in-band reference measurement.
+  std::function<void()> park;
+};
+
+/// The Table 2 test sequence, one modulation frequency at a time:
+///
+///  stage 1  apply digital modulation at FN, wait for the loop to settle
+///  stage 2  at a stimulus peak, start the phase counter; at the next
+///           detected output peak, capture it (repeated `average_periods`
+///           times; the paper measured once, averaging is a knob)
+///  stage 3  at the following output peak, assert loop hold — the output
+///           frequency freezes at its maximum
+///  stage 4  frequency-count the held output at leisure, then release
+///  stage 5  caller moves to the next frequency
+///
+/// The sequencer sees only digital signals (stimulus peak marker, MFREQ,
+/// counter values) — no analog access, as the paper requires.
+class TestSequencer {
+ public:
+  struct Options {
+    int settle_periods = 3;      ///< modulation periods to wait after retuning
+    int average_periods = 4;     ///< phase-count repetitions
+    double freq_gate_s = 1.0;    ///< held-output frequency-count gate
+    double hold_to_gate_delay_s = 2e-3;  ///< mux settling before the gate opens
+    double timeout_periods = 40.0;       ///< watchdog, in modulation periods
+    /// Fraction of the modulation period MFREQ must have been continuously
+    /// high for its falling edge to count as the output peak. The discrete
+    /// FSK steps excite loop transients whose phase-error zero crossings
+    /// also flip MFREQ; only the fundamental produces a high run of ~half a
+    /// period. A small counter implements this on chip. 0 disables.
+    double peak_qualify_fraction = 0.15;
+    void validate() const;
+  };
+
+  struct PointResult {
+    double modulation_hz = 0.0;
+    double phase_deg = 0.0;             ///< circular mean of per-period phases
+    std::vector<long> phase_counts;     ///< raw counter captures
+    double held_frequency_hz = 0.0;     ///< gated count of the held output
+    long held_count = 0;
+    double gate_s = 0.0;
+    double hold_time_s = 0.0;           ///< when hold engaged
+    bool timed_out = false;             ///< watchdog fired (dead/deaf loop)
+  };
+
+  enum class Stage { Idle, Settle, PhaseMeasure, AwaitPeakForHold, HoldCount };
+
+  /// `counted_signal` is what the frequency counter watches (normally the
+  /// raw VCO output for resolution; the divided output also works).
+  TestSequencer(sim::Circuit& c, pll::CpPll& pll, StimulusHooks stimulus,
+                PeakDetector& peak_detector, sim::SignalId stimulus_peak_marker,
+                sim::SignalId counted_signal, double test_clock_hz, Options options);
+
+  TestSequencer(const TestSequencer&) = delete;
+  TestSequencer& operator=(const TestSequencer&) = delete;
+
+  /// Begin measuring one point; `done` fires (at circuit time) when stage 4
+  /// completes or the watchdog trips. Only one point may be in flight.
+  void measurePoint(double modulation_hz, std::function<void(PointResult)> done);
+
+  /// Unmodulated carrier measurement (the nominal-output reference the
+  /// deviations are taken against). Stops any running stimulus program.
+  void measureNominal(std::function<void(double hz)> done);
+
+  /// DC in-band reference: park the reference at nominal + deviation, wait
+  /// `settle_s`, then frequency-count the output. H(0) = 1, so the counted
+  /// deviation is the eqn (7) Frefmax denominator with zero phase by
+  /// definition — the paper's "referenced to the first measurement" rule
+  /// made exact. Restores the unmodulated carrier afterwards.
+  void measureStaticReference(double settle_s, std::function<void(double hz)> done);
+
+  [[nodiscard]] Stage stage() const { return stage_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void handleStimulusPeak(double now);
+  void handleOutputPeak(double now);
+  void handleMfreqRise(double now);
+  void finish(double now);
+
+  sim::Circuit& circuit_;
+  pll::CpPll& pll_;
+  StimulusHooks stimulus_;
+  FrequencyCounter freq_counter_;
+  PhaseCounter phase_counter_;
+  Options options_;
+
+  Stage stage_ = Stage::Idle;
+  unsigned sequence_id_ = 0;  ///< invalidates stale watchdogs/callbacks
+  PointResult current_;
+  std::function<void(PointResult)> done_;
+  bool waiting_for_output_peak_ = false;
+  double mfreq_rise_time_ = -1.0;  ///< last MFREQ rising edge (for debounce)
+};
+
+}  // namespace pllbist::bist

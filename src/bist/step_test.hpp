@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+
+#include "pll/config.hpp"
+
+namespace pllbist::bist {
+
+/// Digital-only step-response test — the companion technique the authors
+/// pursue in reference [12] ("minimum invasion digital only built-in ramp
+/// based test techniques"). Instead of sweeping a modulation tone, the
+/// reference is stepped once and the transient is captured with the same
+/// peak-detect / hold / count hardware:
+///
+///   - the first MFREQ reversal after the step marks the transient *peak*;
+///     holding there and counting gives the overshoot,
+///   - the time from step to peak is the damped half-period,
+///   - the lock detector gives the re-lock (settling) time.
+///
+/// Because the held value is the capacitor-node peak, the overshoot maps to
+/// the textbook second-order formula exp(-pi*zeta/sqrt(1-zeta^2)) with *no
+/// zero correction*, so a single transient yields both zeta and fn.
+struct StepTestOptions {
+  double step_fraction = 0.01;     ///< reference step as a fraction of fref
+  double lock_wait_s = 1.0;        ///< initial lock acquisition time
+  double freq_gate_s = 1.0;        ///< frequency-counter gate
+  double hold_to_gate_delay_s = 2e-3;
+  /// MFREQ must have been high at least this long for its fall to count as
+  /// the transient peak (rejects pre-step chatter). 0 = auto (5 reference
+  /// cycles).
+  double min_peak_run_s = 0.0;
+  double lock_threshold_s = 0.0;   ///< lock pulse-width threshold; 0 = auto (2% of Tref)
+  int lock_cycles = 8;
+  double timeout_s = 0.0;          ///< watchdog; 0 = auto
+
+  void validate() const;
+};
+
+struct StepTestResult {
+  double nominal_hz = 0.0;        ///< counted VCO output before the step
+  double target_hz = 0.0;         ///< counted VCO output after re-lock
+  double peak_hz = 0.0;           ///< held VCO output at the transient peak
+  double overshoot_fraction = 0.0;
+  double peak_time_s = 0.0;       ///< step -> detected peak
+  double relock_time_s = 0.0;     ///< step -> lock-detector assertion
+  bool peak_detected = false;     ///< false for overdamped loops (no reversal)
+  bool timed_out = false;         ///< loop never re-locked
+
+  /// Loop parameters from the transient: zeta from overshoot, fn from the
+  /// damped peak time t_p = pi/(wn*sqrt(1-zeta^2)). Empty when the
+  /// transient was unusable (no overshoot / timeout).
+  std::optional<double> zeta;
+  std::optional<double> natural_frequency_hz;
+};
+
+/// Run the complete step test on a simulated device. Synchronous; builds a
+/// private circuit like BistController.
+StepTestResult runStepTest(const pll::PllConfig& config, const StepTestOptions& options);
+
+}  // namespace pllbist::bist

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pllbist {
+
+/// Thrown when an internal invariant is violated. Deriving from
+/// std::logic_error keeps these distinguishable from configuration errors
+/// (std::invalid_argument / std::domain_error) raised on bad user input.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assertionFailed(const char* expr, const char* file, int line) {
+  throw AssertionError(std::string("assertion failed: ") + expr + " at " + file + ":" +
+                       std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace pllbist
+
+/// Internal-invariant check, active in all build types. Simulation kernels are
+/// dominated by floating-point work, so the branch cost is negligible, and a
+/// hard failure beats silently corrupt waveforms.
+#define PLLBIST_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::pllbist::detail::assertionFailed(#expr, __FILE__, __LINE__))

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cmath>
+
+namespace pllbist {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Convert a linear amplitude ratio to decibels (20 log10).
+inline double amplitudeToDb(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Convert decibels back to a linear amplitude ratio.
+inline double dbToAmplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Radians/s <-> Hz.
+inline double radPerSecToHz(double w) { return w / kTwoPi; }
+inline double hzToRadPerSec(double f) { return f * kTwoPi; }
+
+/// Radians <-> degrees.
+inline double radToDeg(double r) { return r * 180.0 / kPi; }
+inline double degToRad(double d) { return d * kPi / 180.0; }
+
+}  // namespace pllbist

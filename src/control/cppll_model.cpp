@@ -1,0 +1,93 @@
+#include "control/cppll_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pllbist::control {
+
+void LoopParameters::validate() const {
+  if (kpd_v_per_rad <= 0.0) throw std::invalid_argument("LoopParameters: Kpd must be positive");
+  if (kvco_rad_per_s_per_v <= 0.0) throw std::invalid_argument("LoopParameters: Ko must be positive");
+  if (divider_n < 1.0) throw std::invalid_argument("LoopParameters: N must be >= 1");
+  if (r1_ohm <= 0.0 || r2_ohm <= 0.0) throw std::invalid_argument("LoopParameters: R1, R2 must be positive");
+  if (c_farad <= 0.0) throw std::invalid_argument("LoopParameters: C must be positive");
+}
+
+TransferFunction loopFilterTf(const LoopParameters& p) {
+  p.validate();
+  return {Polynomial({1.0, p.tau2()}), Polynomial({1.0, p.tau1() + p.tau2()})};
+}
+
+TransferFunction openLoopTf(const LoopParameters& p) {
+  p.validate();
+  return TransferFunction::gain(p.kpd_v_per_rad) * loopFilterTf(p) *
+         TransferFunction::integrator(p.kvco_rad_per_s_per_v);
+}
+
+TransferFunction closedLoopDividedTf(const LoopParameters& p) {
+  p.validate();
+  const double k = p.loopGain();
+  const double n = p.divider_n;
+  const double t12 = p.tau1() + p.tau2();
+  // K(1 + s*tau2) / (N(tau1+tau2) s^2 + (N + K*tau2) s + K)
+  return {Polynomial({k, k * p.tau2()}), Polynomial({k, n + k * p.tau2(), n * t12})};
+}
+
+TransferFunction closedLoopVcoTf(const LoopParameters& p) {
+  return closedLoopDividedTf(p) * p.divider_n;
+}
+
+TransferFunction errorTf(const LoopParameters& p) {
+  return TransferFunction::gain(1.0) + closedLoopDividedTf(p) * -1.0;
+}
+
+TransferFunction capacitorNodeTf(const LoopParameters& p) {
+  p.validate();
+  const double k = p.loopGain();
+  const double n = p.divider_n;
+  const double t12 = p.tau1() + p.tau2();
+  // closedLoopDividedTf with the (1 + s*tau2) zero divided out.
+  return {Polynomial({k}), Polynomial({k, n + k * p.tau2(), n * t12})};
+}
+
+SecondOrderParams approximateSecondOrder(const LoopParameters& p) {
+  p.validate();
+  const double wn = std::sqrt(p.loopGain() / (p.divider_n * (p.tau1() + p.tau2())));
+  return {wn, wn * p.tau2() / 2.0};
+}
+
+SecondOrderParams exactSecondOrder(const LoopParameters& p) {
+  p.validate();
+  const double k = p.loopGain();
+  const double n = p.divider_n;
+  const double t12 = p.tau1() + p.tau2();
+  const double wn = std::sqrt(k / (n * t12));
+  const double zeta = (n + k * p.tau2()) / (2.0 * n * t12 * wn);
+  return {wn, zeta};
+}
+
+LoopParameters designForResponse(const LoopParameters& base, double omega_n, double zeta) {
+  if (omega_n <= 0.0 || zeta <= 0.0)
+    throw std::invalid_argument("designForResponse: omega_n and zeta must be positive");
+  if (base.kpd_v_per_rad <= 0.0 || base.kvco_rad_per_s_per_v <= 0.0 || base.c_farad <= 0.0 ||
+      base.divider_n < 1.0)
+    throw std::invalid_argument("designForResponse: Kpd, Ko, C, N must be set and positive");
+
+  const double k = base.loopGain();
+  const double n = base.divider_n;
+  const double t12 = k / (n * omega_n * omega_n);       // tau1 + tau2
+  const double tau2 = n * (2.0 * zeta * omega_n * t12 - 1.0) / k;
+  if (tau2 <= 0.0)
+    throw std::domain_error("designForResponse: requested damping unreachable (tau2 <= 0)");
+  const double tau1 = t12 - tau2;
+  if (tau1 <= 0.0)
+    throw std::domain_error("designForResponse: requested damping unreachable (tau1 <= 0)");
+
+  LoopParameters out = base;
+  out.r1_ohm = tau1 / base.c_farad;
+  out.r2_ohm = tau2 / base.c_farad;
+  out.validate();
+  return out;
+}
+
+}  // namespace pllbist::control

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "control/second_order.hpp"
+#include "control/transfer_function.hpp"
+
+namespace pllbist::control {
+
+/// Linearised phase-domain parameters of the charge-pump PLL under test
+/// (the paper's Figure 2 block diagram with the Figure 9 passive lag-lead
+/// loop filter: R1 in series from the phase-detector output, then R2 + C to
+/// ground, control voltage taken at the R1/R2 junction).
+struct LoopParameters {
+  double kpd_v_per_rad = 0.0;        ///< phase-detector gain Kpd [V/rad]
+  double kvco_rad_per_s_per_v = 0.0; ///< VCO gain Ko [rad/s per V]
+  double divider_n = 1.0;            ///< feedback division ratio N
+  double r1_ohm = 0.0;               ///< series resistor R1
+  double r2_ohm = 0.0;               ///< zero-setting resistor R2
+  double c_farad = 0.0;              ///< filter capacitor C
+
+  [[nodiscard]] double tau1() const { return r1_ohm * c_farad; }
+  [[nodiscard]] double tau2() const { return r2_ohm * c_farad; }
+
+  /// Combined forward gain K = Kpd * Ko [1/s when applied to phase].
+  [[nodiscard]] double loopGain() const { return kpd_v_per_rad * kvco_rad_per_s_per_v; }
+
+  /// Throws std::invalid_argument if any parameter is non-positive.
+  void validate() const;
+};
+
+/// Loop-filter transfer function (paper eqn (3)):
+///   F(s) = (1 + s*tau2) / (1 + s*(tau1 + tau2)).
+TransferFunction loopFilterTf(const LoopParameters& p);
+
+/// Open-loop (forward-path) transfer function from input phase to VCO output
+/// phase: G(s) = Kpd * F(s) * Ko / s.
+TransferFunction openLoopTf(const LoopParameters& p);
+
+/// Closed-loop phase transfer function measured at the *divided* VCO output
+/// (unity DC gain; the form whose magnitude the BIST reproduces):
+///   theta_fb / theta_i = K F(s) / (N s + K F(s)).
+TransferFunction closedLoopDividedTf(const LoopParameters& p);
+
+/// Closed-loop phase transfer function to the raw VCO output (paper eqn (4),
+/// DC gain N): theta_o / theta_i = N * closedLoopDividedTf.
+TransferFunction closedLoopVcoTf(const LoopParameters& p);
+
+/// Phase-error transfer function theta_e / theta_i = 1 - closedLoopDividedTf.
+/// High-pass; used to validate the peak-detection principle (the error
+/// crosses zero when the capacitor voltage — hence held frequency — peaks).
+TransferFunction errorTf(const LoopParameters& p);
+
+/// Transfer function from input phase to the *capacitor* voltage response
+/// (normalised to unity DC gain): closedLoopDividedTf / (1 + s*tau2) — the
+/// zero cancels, leaving the pure two-pole response
+///   wn^2 / (s^2 + 2*zeta*wn*s + wn^2).
+///
+/// This is what the paper's peak-detect-and-hold capture physically
+/// measures: the PFD lead/lag reversal marks the phase-error zero crossing,
+/// which coincides with the extremum of the *integrated* (capacitor) state;
+/// at that instant the pump is high-Z so the held control voltage equals
+/// the capacitor voltage. The filter zero's phase lead is invisible to the
+/// method. Benches plot both this and closedLoopDividedTf (eqn (4)).
+TransferFunction capacitorNodeTf(const LoopParameters& p);
+
+/// The paper's high-gain approximation (eqns (5) and (6)):
+///   wn = sqrt(Ko*Kpd / (N*(tau1+tau2))),  zeta = wn*tau2/2.
+SecondOrderParams approximateSecondOrder(const LoopParameters& p);
+
+/// Exact second-order parameters from the closed-loop denominator
+///   s^2 + s*(1 + K*tau2/N)/(tau1+tau2) + K/(N*(tau1+tau2)):
+/// zeta includes the extra "+1" term the approximation drops.
+SecondOrderParams exactSecondOrder(const LoopParameters& p);
+
+/// Solve for (R1, R2) that hit a requested natural frequency and damping
+/// given the remaining parameters (Kpd, Ko, N, C) already set in `base`.
+/// Uses the exact second-order relations. Throws std::domain_error if the
+/// target is unreachable with positive resistances.
+LoopParameters designForResponse(const LoopParameters& base, double omega_n, double zeta);
+
+}  // namespace pllbist::control

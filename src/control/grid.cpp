@@ -1,0 +1,29 @@
+#include "control/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pllbist::control {
+
+std::vector<double> linspace(double first, double last, int n) {
+  if (n < 1) throw std::invalid_argument("linspace: n must be >= 1");
+  if (n == 1) return {first};
+  std::vector<double> out(static_cast<size_t>(n));
+  const double step = (last - first) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = first + step * i;
+  out.back() = last;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double first, double last, int n) {
+  if (first <= 0.0 || last <= 0.0) throw std::invalid_argument("logspace: bounds must be positive");
+  std::vector<double> out = linspace(std::log10(first), std::log10(last), n);
+  for (double& v : out) v = std::pow(10.0, v);
+  if (!out.empty()) {
+    out.front() = first;
+    out.back() = last;
+  }
+  return out;
+}
+
+}  // namespace pllbist::control

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+namespace pllbist::control {
+
+/// n points linearly spaced over [first, last] inclusive. n >= 2 required
+/// (n == 1 returns {first}).
+std::vector<double> linspace(double first, double last, int n);
+
+/// n points logarithmically spaced over [first, last] inclusive; both bounds
+/// must be positive. Throws std::invalid_argument otherwise.
+std::vector<double> logspace(double first, double last, int n);
+
+}  // namespace pllbist::control

@@ -1,0 +1,80 @@
+#include "control/margins.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "control/grid.hpp"
+
+namespace pllbist::control {
+
+namespace {
+
+/// Bisect f over [lo, hi] assuming f(lo) and f(hi) straddle zero.
+template <typename F>
+double bisect(F&& f, double lo, double hi) {
+  double flo = f(lo);
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric mid: frequencies live on a log axis
+    const double fmid = f(mid);
+    if ((flo <= 0.0) == (fmid <= 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace
+
+LoopMargins computeMargins(const TransferFunction& open_loop, double w_min, double w_max, int n) {
+  if (w_min <= 0.0 || w_max <= w_min) throw std::invalid_argument("computeMargins: bad range");
+  if (n < 8) throw std::invalid_argument("computeMargins: need at least 8 scan points");
+
+  const std::vector<double> ws = logspace(w_min, w_max, n);
+  LoopMargins margins;
+
+  auto magMinusOneDb = [&](double w) { return open_loop.magnitudeDbAt(w); };
+  // Unwrapped phase along the scan (the principal value would alias the
+  // -180 crossing of higher-order loops).
+  std::vector<double> phases(ws.size());
+  for (size_t i = 0; i < ws.size(); ++i) phases[i] = open_loop.phaseDegAt(ws[i]);
+  for (size_t i = 1; i < phases.size(); ++i) {
+    while (phases[i] - phases[i - 1] > 180.0) phases[i] -= 360.0;
+    while (phases[i] - phases[i - 1] < -180.0) phases[i] += 360.0;
+  }
+
+  for (size_t i = 1; i < ws.size(); ++i) {
+    // Gain crossover (first |L| = 0 dB crossing downwards).
+    if (!margins.gain_crossover_rad_per_s) {
+      const double a = magMinusOneDb(ws[i - 1]);
+      const double b = magMinusOneDb(ws[i]);
+      if (a >= 0.0 && b < 0.0) {
+        const double wc = bisect(magMinusOneDb, ws[i - 1], ws[i]);
+        margins.gain_crossover_rad_per_s = wc;
+        // Phase margin from the unwrapped scan (interpolated).
+        const double t = (std::log(wc) - std::log(ws[i - 1])) /
+                         (std::log(ws[i]) - std::log(ws[i - 1]));
+        const double phase = phases[i - 1] + t * (phases[i] - phases[i - 1]);
+        margins.phase_margin_deg = 180.0 + phase;
+      }
+    }
+    // Phase crossover (first -180 crossing).
+    if (!margins.phase_crossover_rad_per_s) {
+      const double a = phases[i - 1] + 180.0;
+      const double b = phases[i] + 180.0;
+      if ((a >= 0.0 && b < 0.0) || (a <= 0.0 && b > 0.0)) {
+        const double t = a / (a - b);
+        const double wc = std::exp(std::log(ws[i - 1]) +
+                                   t * (std::log(ws[i]) - std::log(ws[i - 1])));
+        margins.phase_crossover_rad_per_s = wc;
+        margins.gain_margin_db = -open_loop.magnitudeDbAt(wc);
+      }
+    }
+  }
+  return margins;
+}
+
+}  // namespace pllbist::control

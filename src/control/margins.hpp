@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+
+#include "control/transfer_function.hpp"
+
+namespace pllbist::control {
+
+/// Classical stability margins of an open-loop transfer function L(s)
+/// (loop broken at the comparator, unity feedback assumed).
+struct LoopMargins {
+  /// Gain crossover: |L| = 1. Phase margin = 180 + arg L there (degrees).
+  std::optional<double> gain_crossover_rad_per_s;
+  std::optional<double> phase_margin_deg;
+
+  /// Phase crossover: arg L = -180. Gain margin = -|L|dB there.
+  std::optional<double> phase_crossover_rad_per_s;
+  std::optional<double> gain_margin_db;
+};
+
+/// Compute margins by scanning [w_min, w_max] (log grid, n points) and
+/// bisecting the bracketing intervals. Crossings outside the scanned range
+/// are reported as absent. Throws std::invalid_argument on a bad range.
+LoopMargins computeMargins(const TransferFunction& open_loop, double w_min, double w_max,
+                           int n = 400);
+
+}  // namespace pllbist::control

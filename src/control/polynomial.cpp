@@ -1,0 +1,149 @@
+#include "control/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace pllbist::control {
+
+namespace {
+constexpr double kTrimEpsilon = 0.0;  // trim exact zeros only; keep tiny coeffs
+}
+
+Polynomial::Polynomial(std::vector<double> ascending_coeffs) : coeffs_(std::move(ascending_coeffs)) {
+  trim();
+}
+
+Polynomial Polynomial::constant(double value) { return Polynomial({value}); }
+
+Polynomial Polynomial::monomial(double c, int power) {
+  if (power < 0) throw std::invalid_argument("Polynomial::monomial: negative power");
+  std::vector<double> coeffs(static_cast<size_t>(power) + 1, 0.0);
+  coeffs.back() = c;
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial Polynomial::fromRoots(const std::vector<double>& roots) {
+  Polynomial p = constant(1.0);
+  for (double r : roots) p = p * Polynomial({-r, 1.0});
+  return p;
+}
+
+void Polynomial::trim() {
+  while (!coeffs_.empty() && std::abs(coeffs_.back()) <= kTrimEpsilon) coeffs_.pop_back();
+}
+
+double Polynomial::coeff(int k) const {
+  if (k < 0 || k >= static_cast<int>(coeffs_.size())) return 0.0;
+  return coeffs_[static_cast<size_t>(k)];
+}
+
+double Polynomial::leadingCoeff() const { return coeffs_.empty() ? 0.0 : coeffs_.back(); }
+
+std::complex<double> Polynomial::evaluate(std::complex<double> s) const {
+  std::complex<double> acc{0.0, 0.0};
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) acc = acc * s + *it;
+  return acc;
+}
+
+double Polynomial::evaluate(double s) const {
+  double acc = 0.0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) acc = acc * s + *it;
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial{};
+  std::vector<double> d(coeffs_.size() - 1);
+  for (size_t k = 1; k < coeffs_.size(); ++k) d[k - 1] = coeffs_[k] * static_cast<double>(k);
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::monic() const {
+  if (isZero()) throw std::domain_error("Polynomial::monic: zero polynomial");
+  return *this * (1.0 / leadingCoeff());
+}
+
+Polynomial Polynomial::operator+(const Polynomial& rhs) const {
+  std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+  for (size_t k = 0; k < out.size(); ++k) out[k] = coeff(static_cast<int>(k)) + rhs.coeff(static_cast<int>(k));
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& rhs) const { return *this + rhs * -1.0; }
+
+Polynomial Polynomial::operator*(const Polynomial& rhs) const {
+  if (isZero() || rhs.isZero()) return Polynomial{};
+  std::vector<double> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i)
+    for (size_t j = 0; j < rhs.coeffs_.size(); ++j) out[i + j] += coeffs_[i] * rhs.coeffs_[j];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  std::vector<double> out = coeffs_;
+  for (double& c : out) c *= scalar;
+  return Polynomial(std::move(out));
+}
+
+std::vector<std::complex<double>> Polynomial::roots() const {
+  if (isZero()) throw std::domain_error("Polynomial::roots: zero polynomial");
+  const int n = degree();
+  if (n == 0) return {};
+  if (n == 1) return {std::complex<double>{-coeffs_[0] / coeffs_[1], 0.0}};
+  if (n == 2) {
+    // Stable quadratic formula; keeps conjugate pairs exactly conjugate.
+    const double a = coeffs_[2], b = coeffs_[1], c = coeffs_[0];
+    const double disc = b * b - 4.0 * a * c;
+    if (disc >= 0.0) {
+      const double q = -0.5 * (b + std::copysign(std::sqrt(disc), b));
+      double r1 = q / a;
+      double r2 = (q != 0.0) ? c / q : -b / a - r1;
+      return {{r1, 0.0}, {r2, 0.0}};
+    }
+    const double re = -b / (2.0 * a);
+    const double im = std::sqrt(-disc) / (2.0 * a);
+    return {{re, im}, {re, -im}};
+  }
+
+  // Durand-Kerner on the monic polynomial. Degrees here are tiny, so the
+  // simple simultaneous iteration converges in a handful of steps.
+  const Polynomial m = monic();
+  std::vector<std::complex<double>> z(static_cast<size_t>(n));
+  // Initial guesses on a circle of radius derived from the Cauchy bound,
+  // with an irrational angle offset so no guess starts on the real axis.
+  double bound = 0.0;
+  for (int k = 0; k < n; ++k) bound = std::max(bound, std::abs(m.coeff(k)));
+  const double radius = 1.0 + bound;
+  for (int k = 0; k < n; ++k) {
+    const double angle = 2.0 * 3.14159265358979323846 * (static_cast<double>(k) + 0.25) /
+                         static_cast<double>(n) + 0.4;
+    z[static_cast<size_t>(k)] = std::polar(radius, angle);
+  }
+
+  constexpr int kMaxIter = 500;
+  constexpr double kTol = 1e-13;
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    double max_step = 0.0;
+    for (int i = 0; i < n; ++i) {
+      std::complex<double> denom{1.0, 0.0};
+      for (int j = 0; j < n; ++j)
+        if (j != i) denom *= (z[static_cast<size_t>(i)] - z[static_cast<size_t>(j)]);
+      const std::complex<double> delta = m.evaluate(z[static_cast<size_t>(i)]) / denom;
+      z[static_cast<size_t>(i)] -= delta;
+      max_step = std::max(max_step, std::abs(delta));
+    }
+    if (max_step < kTol * radius) break;
+  }
+
+  // Snap near-real roots onto the real axis so downstream stability checks
+  // are not confused by iteration noise.
+  for (auto& root : z) {
+    if (std::abs(root.imag()) < 1e-9 * (1.0 + std::abs(root.real()))) root = {root.real(), 0.0};
+  }
+  return z;
+}
+
+}  // namespace pllbist::control

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace pllbist::control {
+
+/// Dense univariate polynomial with real coefficients, stored in ascending
+/// power order: coeffs()[k] multiplies s^k.
+///
+/// Used as the building block for rational transfer functions. Degrees in
+/// this library are tiny (loop filters are order <= 4), so the simple dense
+/// representation and O(n^2) arithmetic are appropriate.
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// Construct from ascending coefficients; trailing zeros are trimmed.
+  explicit Polynomial(std::vector<double> ascending_coeffs);
+
+  /// Construct a constant polynomial.
+  static Polynomial constant(double value);
+
+  /// Monomial c * s^power.
+  static Polynomial monomial(double c, int power);
+
+  /// Product of (s - r_i) over the given real roots.
+  static Polynomial fromRoots(const std::vector<double>& roots);
+
+  /// Degree of the polynomial; the zero polynomial reports degree -1.
+  [[nodiscard]] int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+  [[nodiscard]] bool isZero() const { return coeffs_.empty(); }
+
+  /// Coefficient of s^k (0.0 beyond the stored degree).
+  [[nodiscard]] double coeff(int k) const;
+
+  [[nodiscard]] const std::vector<double>& coeffs() const { return coeffs_; }
+
+  /// Leading (highest-power) coefficient; 0.0 for the zero polynomial.
+  [[nodiscard]] double leadingCoeff() const;
+
+  /// Evaluate at a complex point via Horner's rule.
+  [[nodiscard]] std::complex<double> evaluate(std::complex<double> s) const;
+  [[nodiscard]] double evaluate(double s) const;
+
+  /// First derivative.
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// All complex roots, via Durand-Kerner iteration. Throws
+  /// std::domain_error on the zero polynomial; returns empty for constants.
+  [[nodiscard]] std::vector<std::complex<double>> roots() const;
+
+  /// Polynomial scaled so that the leading coefficient is 1. Throws
+  /// std::domain_error on the zero polynomial.
+  [[nodiscard]] Polynomial monic() const;
+
+  Polynomial operator+(const Polynomial& rhs) const;
+  Polynomial operator-(const Polynomial& rhs) const;
+  Polynomial operator*(const Polynomial& rhs) const;
+  Polynomial operator*(double scalar) const;
+
+  bool operator==(const Polynomial& rhs) const = default;
+
+ private:
+  void trim();
+
+  std::vector<double> coeffs_;
+};
+
+}  // namespace pllbist::control

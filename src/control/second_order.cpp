@@ -1,0 +1,78 @@
+#include "control/second_order.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace pllbist::control {
+
+namespace {
+constexpr double kPeakingZetaLimit = 0.70710678118654752440;  // 1/sqrt(2)
+}
+
+double peakFrequency(double omega_n, double zeta) {
+  if (omega_n <= 0.0) throw std::domain_error("peakFrequency: omega_n must be positive");
+  if (zeta <= 0.0 || zeta >= kPeakingZetaLimit)
+    throw std::domain_error("peakFrequency: requires 0 < zeta < 1/sqrt(2)");
+  return omega_n * std::sqrt(1.0 - 2.0 * zeta * zeta);
+}
+
+double peakingDb(double zeta) {
+  if (zeta <= 0.0 || zeta >= kPeakingZetaLimit)
+    throw std::domain_error("peakingDb: requires 0 < zeta < 1/sqrt(2)");
+  return amplitudeToDb(1.0 / (2.0 * zeta * std::sqrt(1.0 - zeta * zeta)));
+}
+
+double dampingFromPeakingDb(double peaking_db) {
+  if (peaking_db <= 0.0) throw std::domain_error("dampingFromPeakingDb: peaking must be > 0 dB");
+  // Invert Mp = 1/(2 z sqrt(1-z^2)): let u = z^2, then 4u(1-u) = 1/Mp^2,
+  // u = (1 - sqrt(1 - 1/Mp^2)) / 2 (taking the branch with z < 1/sqrt2).
+  const double mp = dbToAmplitude(peaking_db);
+  const double disc = 1.0 - 1.0 / (mp * mp);
+  const double u = 0.5 * (1.0 - std::sqrt(disc));
+  return std::sqrt(u);
+}
+
+double bandwidth3Db(double omega_n, double zeta) {
+  if (omega_n <= 0.0) throw std::domain_error("bandwidth3Db: omega_n must be positive");
+  if (zeta < 0.0) throw std::domain_error("bandwidth3Db: zeta must be non-negative");
+  const double a = 1.0 - 2.0 * zeta * zeta;
+  return omega_n * std::sqrt(a + std::sqrt(a * a + 1.0));
+}
+
+double dampingFromBandwidthPeakRatio(double ratio) {
+  if (ratio <= 1.0) throw std::domain_error("dampingFromBandwidthPeakRatio: ratio must be > 1");
+  // w3dB/wp = sqrt( (a + sqrt(a^2+1)) / a ) with a = 1-2z^2 in (0,1).
+  // Solve r^2 = (a + sqrt(a^2+1))/a  =>  sqrt(a^2+1) = a (r^2 - 1)
+  //   =>  a^2 + 1 = a^2 (r^2-1)^2  =>  a = 1/sqrt((r^2-1)^2 - 1).
+  const double r2m1 = ratio * ratio - 1.0;
+  const double denom = r2m1 * r2m1 - 1.0;
+  if (denom <= 0.0)
+    throw std::domain_error("dampingFromBandwidthPeakRatio: ratio too small for a peaking system");
+  const double a = 1.0 / std::sqrt(denom);
+  if (a >= 1.0) throw std::domain_error("dampingFromBandwidthPeakRatio: ratio too large");
+  return std::sqrt((1.0 - a) / 2.0);
+}
+
+double naturalFrequencyFromPeak(double omega_p, double zeta) {
+  if (omega_p <= 0.0) throw std::domain_error("naturalFrequencyFromPeak: omega_p must be positive");
+  if (zeta <= 0.0 || zeta >= kPeakingZetaLimit)
+    throw std::domain_error("naturalFrequencyFromPeak: requires 0 < zeta < 1/sqrt(2)");
+  return omega_p / std::sqrt(1.0 - 2.0 * zeta * zeta);
+}
+
+double settlingTime2Pct(double omega_n, double zeta) {
+  if (omega_n <= 0.0 || zeta <= 0.0)
+    throw std::domain_error("settlingTime2Pct: omega_n and zeta must be positive");
+  return 4.0 / (zeta * omega_n);
+}
+
+double stepOvershootFraction(double zeta) {
+  if (zeta < 0.0 || zeta >= 1.0)
+    throw std::domain_error("stepOvershootFraction: requires 0 <= zeta < 1");
+  if (zeta == 0.0) return 1.0;
+  return std::exp(-kPi * zeta / std::sqrt(1.0 - zeta * zeta));
+}
+
+}  // namespace pllbist::control

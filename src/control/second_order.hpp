@@ -1,0 +1,52 @@
+#pragma once
+
+namespace pllbist::control {
+
+/// Natural frequency / damping pair of a second-order system.
+struct SecondOrderParams {
+  double omega_n_rad_per_s = 0.0;
+  double zeta = 0.0;
+};
+
+/// Closed-form relationships for the standard unity-DC-gain second-order
+/// low-pass H(s) = wn^2 / (s^2 + 2*zeta*wn*s + wn^2). These back the
+/// annotations of the paper's Figure 1 (0 dB asymptote, omega_p, omega_3dB)
+/// and the damping-from-peaking estimation used in BIST post-processing.
+
+/// Frequency of the magnitude peak, omega_p = wn*sqrt(1 - 2*zeta^2).
+/// Only underdamped systems with zeta < 1/sqrt(2) peak; throws
+/// std::domain_error otherwise.
+double peakFrequency(double omega_n, double zeta);
+
+/// Peak magnitude above DC in dB: 20*log10(1 / (2*zeta*sqrt(1 - zeta^2))).
+/// Requires 0 < zeta < 1/sqrt(2).
+double peakingDb(double zeta);
+
+/// Inverse of peakingDb: damping ratio from a measured peak height in dB.
+/// Requires peaking_db > 0.
+double dampingFromPeakingDb(double peaking_db);
+
+/// One-sided -3 dB bandwidth:
+/// w3dB = wn * sqrt( (1-2*zeta^2) + sqrt((1-2*zeta^2)^2 + 1) ).
+double bandwidth3Db(double omega_n, double zeta);
+
+/// Inverse mapping: damping ratio from the ratio w3dB / wp of the measured
+/// -3 dB bandwidth to the measured peak frequency (both > 0, ratio > 1).
+/// Useful when the absolute magnitude scale is unknown (eqn (7) referencing
+/// removes the scale but peaking may be distorted by step quantisation).
+double dampingFromBandwidthPeakRatio(double ratio);
+
+/// Natural frequency recovered from a measured peak frequency and damping:
+/// wn = wp / sqrt(1 - 2*zeta^2).
+double naturalFrequencyFromPeak(double omega_p, double zeta);
+
+/// Time-domain links (the paper's motivation: frequency-domain features
+/// "relate directly to the time domain response").
+/// 2% settling time approximation 4/(zeta*wn) for underdamped systems.
+double settlingTime2Pct(double omega_n, double zeta);
+
+/// Fractional overshoot of the step response, exp(-pi*zeta/sqrt(1-zeta^2)).
+/// Requires 0 <= zeta < 1.
+double stepOvershootFraction(double zeta);
+
+}  // namespace pllbist::control

@@ -1,0 +1,141 @@
+#include "control/state_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace pllbist::control {
+
+StateSpace toStateSpace(const TransferFunction& tf) {
+  const Polynomial& num = tf.numerator();
+  const Polynomial& den = tf.denominator();
+  if (num.degree() > den.degree())
+    throw std::invalid_argument("toStateSpace: improper transfer function");
+  const int n = den.degree();
+
+  StateSpace ss;
+  if (n == 0) {
+    ss.d = num.coeff(0) / den.coeff(0);
+    return ss;
+  }
+
+  // Normalise so the denominator is monic: s^n + a_{n-1} s^{n-1} + ... + a_0.
+  const double lead = den.leadingCoeff();
+  std::vector<double> a(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) a[static_cast<size_t>(k)] = den.coeff(k) / lead;
+  std::vector<double> b(static_cast<size_t>(n) + 1, 0.0);
+  for (int k = 0; k <= n; ++k) b[static_cast<size_t>(k)] = num.coeff(k) / lead;
+
+  // Controllable canonical form. D = b_n; C_k = b_k - b_n * a_k.
+  ss.d = b[static_cast<size_t>(n)];
+  ss.a.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  ss.b.assign(static_cast<size_t>(n), 0.0);
+  ss.c.assign(static_cast<size_t>(n), 0.0);
+  for (int row = 0; row < n - 1; ++row)
+    ss.a[static_cast<size_t>(row) * n + static_cast<size_t>(row) + 1] = 1.0;
+  for (int col = 0; col < n; ++col)
+    ss.a[static_cast<size_t>(n - 1) * n + static_cast<size_t>(col)] = -a[static_cast<size_t>(col)];
+  ss.b[static_cast<size_t>(n) - 1] = 1.0;
+  for (int k = 0; k < n; ++k)
+    ss.c[static_cast<size_t>(k)] = b[static_cast<size_t>(k)] - ss.d * a[static_cast<size_t>(k)];
+  return ss;
+}
+
+namespace {
+
+void derivative(const StateSpace& ss, const std::vector<double>& x, double u,
+                std::vector<double>& dx) {
+  const int n = ss.order();
+  for (int i = 0; i < n; ++i) {
+    double acc = ss.b[static_cast<size_t>(i)] * u;
+    for (int j = 0; j < n; ++j)
+      acc += ss.a[static_cast<size_t>(i) * n + static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+    dx[static_cast<size_t>(i)] = acc;
+  }
+}
+
+double output(const StateSpace& ss, const std::vector<double>& x, double u) {
+  double y = ss.d * u;
+  for (int i = 0; i < ss.order(); ++i) y += ss.c[static_cast<size_t>(i)] * x[static_cast<size_t>(i)];
+  return y;
+}
+
+}  // namespace
+
+std::vector<TimePoint> simulate(const StateSpace& ss, const std::vector<double>& u, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("simulate: dt must be positive");
+  if (u.empty()) throw std::invalid_argument("simulate: empty input");
+  const int n = ss.order();
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  std::vector<double> k1(x), k2(x), k3(x), k4(x), tmp(x);
+
+  std::vector<TimePoint> out;
+  out.reserve(u.size());
+  for (size_t step = 0; step < u.size(); ++step) {
+    const double t = dt * static_cast<double>(step);
+    out.push_back({t, output(ss, x, u[step])});
+    if (step + 1 == u.size()) break;
+    // RK4 with input linearly interpolated across the step.
+    const double u0 = u[step];
+    const double u1 = u[step + 1];
+    const double um = 0.5 * (u0 + u1);
+    derivative(ss, x, u0, k1);
+    for (int i = 0; i < n; ++i) tmp[static_cast<size_t>(i)] = x[static_cast<size_t>(i)] + 0.5 * dt * k1[static_cast<size_t>(i)];
+    derivative(ss, tmp, um, k2);
+    for (int i = 0; i < n; ++i) tmp[static_cast<size_t>(i)] = x[static_cast<size_t>(i)] + 0.5 * dt * k2[static_cast<size_t>(i)];
+    derivative(ss, tmp, um, k3);
+    for (int i = 0; i < n; ++i) tmp[static_cast<size_t>(i)] = x[static_cast<size_t>(i)] + dt * k3[static_cast<size_t>(i)];
+    derivative(ss, tmp, u1, k4);
+    for (int i = 0; i < n; ++i)
+      x[static_cast<size_t>(i)] += dt / 6.0 *
+                                   (k1[static_cast<size_t>(i)] + 2.0 * k2[static_cast<size_t>(i)] +
+                                    2.0 * k3[static_cast<size_t>(i)] + k4[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<TimePoint> stepResponse(const TransferFunction& tf, double t_end, int n) {
+  if (t_end <= 0.0 || n < 2) throw std::invalid_argument("stepResponse: bad window");
+  const StateSpace ss = toStateSpace(tf);
+  std::vector<double> u(static_cast<size_t>(n), 1.0);
+  return simulate(ss, u, t_end / static_cast<double>(n - 1));
+}
+
+StepInfo analyzeStep(const std::vector<TimePoint>& r) {
+  if (r.size() < 3) throw std::invalid_argument("analyzeStep: too few samples");
+  StepInfo info;
+  info.final_value = r.back().value;
+  if (info.final_value == 0.0) throw std::domain_error("analyzeStep: zero final value");
+
+  double peak = r.front().value;
+  for (const TimePoint& p : r) {
+    if ((info.final_value > 0.0 && p.value > peak) || (info.final_value < 0.0 && p.value < peak)) {
+      peak = p.value;
+      info.peak_time_s = p.time_s;
+    }
+  }
+  info.overshoot_fraction = std::max(0.0, (peak - info.final_value) / info.final_value);
+
+  const double lo = 0.1 * info.final_value;
+  const double hi = 0.9 * info.final_value;
+  double t10 = -1.0, t90 = -1.0;
+  for (const TimePoint& p : r) {
+    if (t10 < 0.0 && std::abs(p.value) >= std::abs(lo)) t10 = p.time_s;
+    if (t90 < 0.0 && std::abs(p.value) >= std::abs(hi)) t90 = p.time_s;
+    if (t10 >= 0.0 && t90 >= 0.0) break;
+  }
+  info.rise_time_s = (t10 >= 0.0 && t90 >= t10) ? t90 - t10 : 0.0;
+
+  const double band = 0.02 * std::abs(info.final_value);
+  info.settling_time_s = 0.0;
+  for (size_t i = r.size(); i-- > 0;) {
+    if (std::abs(r[i].value - info.final_value) > band) {
+      info.settling_time_s = (i + 1 < r.size()) ? r[i + 1].time_s : r.back().time_s;
+      break;
+    }
+  }
+  return info;
+}
+
+}  // namespace pllbist::control

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "control/transfer_function.hpp"
+
+namespace pllbist::control {
+
+/// Dense state-space realisation x' = A x + B u, y = C x + D u.
+struct StateSpace {
+  // Row-major square A (n x n), column vectors B (n), C (n), scalar D.
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  double d = 0.0;
+
+  [[nodiscard]] int order() const { return static_cast<int>(b.size()); }
+};
+
+/// Controllable-canonical realisation of a *proper* transfer function
+/// (relative degree >= 0). Throws std::invalid_argument on improper H.
+StateSpace toStateSpace(const TransferFunction& tf);
+
+/// One sampled point of a time response.
+struct TimePoint {
+  double time_s = 0.0;
+  double value = 0.0;
+};
+
+/// Simulate y(t) for an arbitrary scalar input u(t) with classic RK4 at
+/// fixed step dt, from zero initial state. Returns n+1 samples including
+/// t = 0.
+std::vector<TimePoint> simulate(const StateSpace& ss, const std::vector<double>& u, double dt);
+
+/// Unit-step response of H over [0, t_end] with n samples (n >= 2).
+std::vector<TimePoint> stepResponse(const TransferFunction& tf, double t_end, int n = 400);
+
+/// Features of a step response (assumes it settles to a nonzero final
+/// value within the simulated window).
+struct StepInfo {
+  double final_value = 0.0;
+  double overshoot_fraction = 0.0;  ///< (peak - final)/final, 0 if no overshoot
+  double peak_time_s = 0.0;
+  double rise_time_s = 0.0;         ///< 10% -> 90% of final
+  double settling_time_s = 0.0;     ///< last entry into the +/-2% band
+};
+StepInfo analyzeStep(const std::vector<TimePoint>& response);
+
+}  // namespace pllbist::control

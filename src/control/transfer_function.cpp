@@ -1,0 +1,96 @@
+#include "control/transfer_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace pllbist::control {
+
+TransferFunction::TransferFunction() : num_(), den_(Polynomial::constant(1.0)) {}
+
+TransferFunction::TransferFunction(Polynomial numerator, Polynomial denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  if (den_.isZero()) throw std::invalid_argument("TransferFunction: zero denominator");
+}
+
+TransferFunction TransferFunction::gain(double k) {
+  return {Polynomial::constant(k), Polynomial::constant(1.0)};
+}
+
+TransferFunction TransferFunction::integrator(double k) {
+  return {Polynomial::constant(k), Polynomial({0.0, 1.0})};
+}
+
+TransferFunction TransferFunction::firstOrderLowPass(double k, double tau) {
+  if (tau <= 0.0) throw std::invalid_argument("firstOrderLowPass: tau must be positive");
+  return {Polynomial::constant(k), Polynomial({1.0, tau})};
+}
+
+TransferFunction TransferFunction::secondOrderLowPass(double omega_n, double zeta) {
+  if (omega_n <= 0.0) throw std::invalid_argument("secondOrderLowPass: omega_n must be positive");
+  if (zeta < 0.0) throw std::invalid_argument("secondOrderLowPass: zeta must be non-negative");
+  return {Polynomial::constant(omega_n * omega_n),
+          Polynomial({omega_n * omega_n, 2.0 * zeta * omega_n, 1.0})};
+}
+
+std::complex<double> TransferFunction::evaluate(std::complex<double> s) const {
+  return num_.evaluate(s) / den_.evaluate(s);
+}
+
+std::complex<double> TransferFunction::atFrequency(double omega) const {
+  return evaluate(std::complex<double>{0.0, omega});
+}
+
+double TransferFunction::magnitudeDbAt(double omega) const {
+  return amplitudeToDb(std::abs(atFrequency(omega)));
+}
+
+double TransferFunction::phaseDegAt(double omega) const {
+  return radToDeg(std::arg(atFrequency(omega)));
+}
+
+double TransferFunction::dcGain() const {
+  const double d0 = den_.evaluate(0.0);
+  const double n0 = num_.evaluate(0.0);
+  if (d0 == 0.0) {
+    if (n0 == 0.0) return 0.0;  // pole/zero cancellation at DC handled loosely
+    throw std::domain_error("TransferFunction::dcGain: pole at s=0");
+  }
+  return n0 / d0;
+}
+
+std::vector<std::complex<double>> TransferFunction::poles() const { return den_.roots(); }
+
+std::vector<std::complex<double>> TransferFunction::zeros() const {
+  if (num_.isZero()) return {};
+  return num_.roots();
+}
+
+bool TransferFunction::isStable() const {
+  for (const auto& p : poles())
+    if (p.real() >= 0.0) return false;
+  return true;
+}
+
+int TransferFunction::relativeDegree() const { return den_.degree() - num_.degree(); }
+
+TransferFunction TransferFunction::series(const TransferFunction& rhs) const {
+  return {num_ * rhs.num_, den_ * rhs.den_};
+}
+
+TransferFunction TransferFunction::parallel(const TransferFunction& rhs) const {
+  return {num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_};
+}
+
+TransferFunction TransferFunction::feedback(const TransferFunction& fb) const {
+  // G/(1 + G*Hfb) with G = num/den, Hfb = fn/fd:
+  //   (num*fd) / (den*fd + num*fn)
+  return {num_ * fb.den_, den_ * fb.den_ + num_ * fb.num_};
+}
+
+TransferFunction TransferFunction::unityFeedback() const { return feedback(gain(1.0)); }
+
+TransferFunction TransferFunction::operator*(double k) const { return {num_ * k, den_}; }
+
+}  // namespace pllbist::control

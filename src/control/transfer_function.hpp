@@ -1,0 +1,85 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/polynomial.hpp"
+
+namespace pllbist::control {
+
+/// Rational Laplace-domain transfer function H(s) = num(s) / den(s).
+///
+/// Supports the block-diagram algebra needed to assemble PLL loop models:
+/// series and parallel connection, scalar gain, and closing a feedback loop.
+class TransferFunction {
+ public:
+  /// H(s) = 0 / 1.
+  TransferFunction();
+
+  /// Throws std::invalid_argument if the denominator is the zero polynomial.
+  TransferFunction(Polynomial numerator, Polynomial denominator);
+
+  /// Constant gain k.
+  static TransferFunction gain(double k);
+
+  /// A pure integrator k / s.
+  static TransferFunction integrator(double k = 1.0);
+
+  /// First-order low-pass k / (1 + s*tau).
+  static TransferFunction firstOrderLowPass(double k, double tau);
+
+  /// Standard unity-DC-gain second-order low-pass
+  /// wn^2 / (s^2 + 2*zeta*wn*s + wn^2).
+  static TransferFunction secondOrderLowPass(double omega_n, double zeta);
+
+  [[nodiscard]] const Polynomial& numerator() const { return num_; }
+  [[nodiscard]] const Polynomial& denominator() const { return den_; }
+
+  /// Evaluate H at a complex frequency s.
+  [[nodiscard]] std::complex<double> evaluate(std::complex<double> s) const;
+
+  /// Evaluate H(j*omega) for a real radian frequency.
+  [[nodiscard]] std::complex<double> atFrequency(double omega_rad_per_s) const;
+
+  /// |H(j*omega)| in dB.
+  [[nodiscard]] double magnitudeDbAt(double omega_rad_per_s) const;
+
+  /// arg H(j*omega) in degrees, principal value (-180, 180].
+  [[nodiscard]] double phaseDegAt(double omega_rad_per_s) const;
+
+  /// H(0). Throws std::domain_error if the denominator vanishes at 0 while
+  /// the numerator does not (pole at DC).
+  [[nodiscard]] double dcGain() const;
+
+  /// Roots of the denominator / numerator.
+  [[nodiscard]] std::vector<std::complex<double>> poles() const;
+  [[nodiscard]] std::vector<std::complex<double>> zeros() const;
+
+  /// True iff every pole has strictly negative real part.
+  [[nodiscard]] bool isStable() const;
+
+  /// Relative degree (den degree - num degree). Negative means improper.
+  [[nodiscard]] int relativeDegree() const;
+
+  /// Series connection: this followed by rhs (product).
+  [[nodiscard]] TransferFunction series(const TransferFunction& rhs) const;
+
+  /// Parallel connection (sum).
+  [[nodiscard]] TransferFunction parallel(const TransferFunction& rhs) const;
+
+  /// Negative-feedback closure: this / (1 + this * feedback).
+  [[nodiscard]] TransferFunction feedback(const TransferFunction& feedback_path) const;
+
+  /// Unity negative feedback: this / (1 + this).
+  [[nodiscard]] TransferFunction unityFeedback() const;
+
+  TransferFunction operator*(const TransferFunction& rhs) const { return series(rhs); }
+  TransferFunction operator*(double k) const;
+  TransferFunction operator+(const TransferFunction& rhs) const { return parallel(rhs); }
+
+ private:
+  Polynomial num_;
+  Polynomial den_;
+};
+
+}  // namespace pllbist::control

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "core/measurement.hpp"
+
+namespace pllbist::core {
+
+/// Side-by-side comparison of designed, theoretical and measured loop
+/// parameters, with relative errors — the characterisation summary a
+/// designer reads after a BIST run.
+struct CharacterizationReport {
+  // Designed (from component values, exact second-order relations).
+  double design_fn_hz = 0.0;
+  double design_zeta = 0.0;
+  double design_f3db_hz = 0.0;  ///< of the capacitor-node response
+
+  // Measured (extracted from the BIST response).
+  double measured_fn_hz = 0.0;
+  double measured_zeta = 0.0;
+  double measured_f3db_hz = 0.0;
+  double measured_peaking_db = 0.0;
+
+  // Relative errors measured vs designed (fractions, e.g. 0.05 = 5%).
+  double fn_error = 0.0;
+  double zeta_error = 0.0;
+  double f3db_error = 0.0;
+
+  /// Fixed-width text rendering for logs and bench output.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Run a BIST measurement and assemble the report. Parameters that could
+/// not be extracted are reported as 0 with error 1 (100%).
+CharacterizationReport characterize(const pll::PllConfig& config,
+                                    const bist::SweepOptions& options);
+
+}  // namespace pllbist::core

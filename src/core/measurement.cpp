@@ -1,0 +1,56 @@
+#include "core/measurement.hpp"
+
+#include "common/units.hpp"
+#include "control/grid.hpp"
+
+namespace pllbist::core {
+
+TransferFunctionMeasurement::TransferFunctionMeasurement(pll::PllConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+bist::SweepOptions TransferFunctionMeasurement::defaultSweepOptions(bist::StimulusKind stimulus,
+                                                                    int points) const {
+  bist::SweepOptions opt;
+  opt.stimulus = stimulus;
+  const double fn_hz = radPerSecToHz(config_.secondOrder().omega_n_rad_per_s);
+  opt.modulation_frequencies_hz = bist::SweepOptions::defaultSweep(fn_hz, points);
+  return opt;
+}
+
+MeasurementResult TransferFunctionMeasurement::runBist(const bist::SweepOptions& options) const {
+  bist::BistController controller(config_, options);
+  MeasurementResult result;
+  result.sweep = controller.run();
+  result.bode = result.sweep.toBode();
+  result.parameters = bist::extractParameters(result.bode);
+  return result;
+}
+
+MeasurementResult TransferFunctionMeasurement::runBist(bist::StimulusKind stimulus,
+                                                       int points) const {
+  return runBist(defaultSweepOptions(stimulus, points));
+}
+
+baseline::BenchResult TransferFunctionMeasurement::runBench(
+    const baseline::BenchOptions& options) const {
+  return baseline::measureBench(config_, options);
+}
+
+baseline::BenchResult TransferFunctionMeasurement::runBench(int points) const {
+  baseline::BenchOptions opt;
+  const double fn_hz = radPerSecToHz(config_.secondOrder().omega_n_rad_per_s);
+  opt.modulation_frequencies_hz = control::logspace(fn_hz / 10.0, fn_hz * 5.0, points);
+  return runBench(opt);
+}
+
+control::TransferFunction TransferFunctionMeasurement::theoryEqn4() const {
+  return config_.closedLoopDividedTf();
+}
+
+control::TransferFunction TransferFunctionMeasurement::theoryCapacitor() const {
+  return config_.capacitorNodeTf();
+}
+
+}  // namespace pllbist::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "baseline/bench_measurement.hpp"
+#include "bist/analysis.hpp"
+#include "bist/controller.hpp"
+#include "control/bode.hpp"
+#include "pll/config.hpp"
+
+namespace pllbist::core {
+
+/// One complete transfer-function measurement: the raw sweep, the eqn (7)
+/// referenced Bode response, and the extracted loop parameters.
+struct MeasurementResult {
+  bist::MeasuredResponse sweep;
+  control::BodeResponse bode;
+  bist::ExtractedParameters parameters;
+};
+
+/// High-level facade over the BIST and the bench baseline. Owns nothing
+/// persistent; each call builds a fresh simulated testbench.
+class TransferFunctionMeasurement {
+ public:
+  explicit TransferFunctionMeasurement(pll::PllConfig config);
+
+  [[nodiscard]] const pll::PllConfig& config() const { return config_; }
+
+  /// Run the on-chip BIST measurement (the paper's method).
+  [[nodiscard]] MeasurementResult runBist(const bist::SweepOptions& options) const;
+
+  /// Run the same measurement with defaults derived from the designed
+  /// response (sweep around the design fn, given stimulus kind).
+  [[nodiscard]] MeasurementResult runBist(
+      bist::StimulusKind stimulus = bist::StimulusKind::MultiToneFsk, int points = 12) const;
+
+  /// Run the conventional bench measurement baseline (analog access).
+  [[nodiscard]] baseline::BenchResult runBench(const baseline::BenchOptions& options) const;
+  [[nodiscard]] baseline::BenchResult runBench(int points = 12) const;
+
+  /// Theory curves for comparison.
+  [[nodiscard]] control::TransferFunction theoryEqn4() const;       ///< closed loop, with zero
+  [[nodiscard]] control::TransferFunction theoryCapacitor() const;  ///< what the BIST captures
+
+  /// Default sweep options matched to this device.
+  [[nodiscard]] bist::SweepOptions defaultSweepOptions(
+      bist::StimulusKind stimulus = bist::StimulusKind::MultiToneFsk, int points = 12) const;
+
+ private:
+  pll::PllConfig config_;
+};
+
+}  // namespace pllbist::core

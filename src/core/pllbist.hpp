@@ -1,0 +1,47 @@
+#pragma once
+
+/// Umbrella header for the pllbist library.
+///
+/// pllbist reproduces "Techniques for Automatic On-Chip Closed Loop
+/// Transfer Function Monitoring For Embedded Charge Pump Phase Locked
+/// Loops" (Burbidge, Tijou, Richardson — DATE 2003): a digital-only BIST
+/// that measures an embedded CP-PLL's closed-loop magnitude/phase response
+/// using a DCO-generated discrete-FM stimulus, a modified-PFD peak
+/// detector, loop-hold, and frequency/phase counters.
+///
+/// Layering (each usable on its own):
+///   control/   rational transfer functions, Bode analysis, loop design math
+///   dsp/       FFT, sine fitting, statistics
+///   sim/       discrete-event digital simulation kernel
+///   pll/       behavioral CP-PLL models (PFD, pump+filter, VCO, dividers)
+///   bist/      the paper's test hardware (DCO, modulator, peak detector,
+///              counters, sequencer, sweep controller)
+///   baseline/  conventional bench measurement (analog access) comparator
+///   core/      high-level facades: measurement, characterisation, test plan
+
+#include "baseline/bench_measurement.hpp"
+#include "bist/analysis.hpp"
+#include "bist/controller.hpp"
+#include "bist/dco.hpp"
+#include "bist/delay_line.hpp"
+#include "bist/modulator.hpp"
+#include "bist/peak_detector.hpp"
+#include "bist/sequencer.hpp"
+#include "bist/step_test.hpp"
+#include "common/units.hpp"
+#include "control/bode.hpp"
+#include "control/cppll_model.hpp"
+#include "control/grid.hpp"
+#include "control/second_order.hpp"
+#include "control/transfer_function.hpp"
+#include "core/characterization.hpp"
+#include "core/measurement.hpp"
+#include "core/testplan.hpp"
+#include "pll/config.hpp"
+#include "pll/cppll.hpp"
+#include "pll/faults.hpp"
+#include "pll/probes.hpp"
+#include "pll/sources.hpp"
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+#include "sim/trace.hpp"

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bist/analysis.hpp"
+#include "core/measurement.hpp"
+#include "pll/faults.hpp"
+
+namespace pllbist::core {
+
+/// Production-test flow built on the BIST measurement: derive limits from a
+/// golden device, then screen DUTs by their measured transfer-function
+/// signature — the on-chip limit comparison the paper proposes.
+class TestPlan {
+ public:
+  /// Characterise the golden device and derive limits with the given
+  /// symmetric tolerance (e.g. 0.25 = +/-25%).
+  TestPlan(const pll::PllConfig& golden, const bist::SweepOptions& sweep, double tolerance);
+
+  [[nodiscard]] const bist::TestLimits& limits() const { return limits_; }
+  [[nodiscard]] const bist::ExtractedParameters& goldenParameters() const { return golden_params_; }
+  /// Golden nominal (unmodulated) VCO frequency; screened DUTs must match
+  /// it within nominal_tolerance. Catches divider/decode faults that leave
+  /// the loop *shape* almost unchanged (e.g. N off by one only moves fn by
+  /// sqrt(N/(N+1)) but moves the absolute output frequency by 1/N).
+  [[nodiscard]] double goldenNominalHz() const { return golden_nominal_hz_; }
+
+  /// Measure a DUT and compare against the limits. A timed-out sweep (dead
+  /// loop) fails outright.
+  struct DutResult {
+    bist::ExtractedParameters parameters;
+    bist::TestVerdict verdict;
+    bool measurement_failed = false;  ///< sweep unusable (timeouts / no reference)
+  };
+  [[nodiscard]] DutResult screen(const pll::PllConfig& dut) const;
+
+  /// Fault-coverage experiment: screen the golden device with each fault
+  /// applied; a fault is covered when the verdict fails.
+  struct CoverageRow {
+    pll::FaultSpec fault;
+    bool detected = false;
+    std::vector<std::string> failures;
+  };
+  struct CoverageReport {
+    std::vector<CoverageRow> rows;
+    bool golden_passes = false;
+    [[nodiscard]] double coverage() const;
+  };
+  [[nodiscard]] CoverageReport faultCoverage(const std::vector<pll::FaultSpec>& faults) const;
+
+ private:
+  pll::PllConfig golden_;
+  bist::SweepOptions sweep_;
+  bist::ExtractedParameters golden_params_;
+  bist::TestLimits limits_;
+  double golden_nominal_hz_ = 0.0;
+  double nominal_tolerance_ = 0.01;  ///< counters are exact; 1% is generous
+};
+
+}  // namespace pllbist::core

@@ -1,0 +1,73 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace pllbist::dsp {
+
+size_t nextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fftInPlace(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) throw std::invalid_argument("fftInPlace: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 1.0 : -1.0) * kTwoPi / static_cast<double>(len);
+    const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fftReal(const std::vector<double>& signal) {
+  std::vector<std::complex<double>> data(nextPowerOfTwo(std::max<size_t>(signal.size(), 1)));
+  for (size_t i = 0; i < signal.size(); ++i) data[i] = {signal[i], 0.0};
+  fftInPlace(data);
+  return data;
+}
+
+std::vector<SpectrumBin> amplitudeSpectrum(const std::vector<double>& signal, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("amplitudeSpectrum: sample rate must be positive");
+  if (signal.empty()) return {};
+  auto spectrum = fftReal(signal);
+  const size_t n = spectrum.size();
+  const double bin_hz = sample_rate_hz / static_cast<double>(n);
+  std::vector<SpectrumBin> out(n / 2 + 1);
+  // Normalise by the original (pre-padding) sample count so on-bin sinusoid
+  // amplitudes are recovered.
+  const double scale = 2.0 / static_cast<double>(signal.size());
+  for (size_t k = 0; k < out.size(); ++k) {
+    const double amp = std::abs(spectrum[k]) * (k == 0 || k == n / 2 ? scale / 2.0 : scale);
+    out[k] = {bin_hz * static_cast<double>(k), amp};
+  }
+  return out;
+}
+
+}  // namespace pllbist::dsp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace pllbist::dsp {
+
+/// In-place radix-2 decimation-in-time FFT. Size must be a power of two
+/// (throws std::invalid_argument otherwise).
+void fftInPlace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Forward FFT of a real signal, zero-padded up to the next power of two.
+/// Returns the full complex spectrum of the padded length.
+std::vector<std::complex<double>> fftReal(const std::vector<double>& signal);
+
+/// Smallest power of two >= n (n >= 1).
+size_t nextPowerOfTwo(size_t n);
+
+/// Single-sided amplitude spectrum of a real signal sampled at sample_rate_hz,
+/// as (frequency_hz, amplitude) pairs. Amplitudes are scaled so a pure
+/// sinusoid of amplitude A whose frequency lands on a bin reads A.
+struct SpectrumBin {
+  double frequency_hz = 0.0;
+  double amplitude = 0.0;
+};
+std::vector<SpectrumBin> amplitudeSpectrum(const std::vector<double>& signal, double sample_rate_hz);
+
+}  // namespace pllbist::dsp

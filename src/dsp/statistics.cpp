@@ -1,0 +1,62 @@
+#include "dsp/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pllbist::dsp {
+
+namespace {
+void requireNonEmpty(const std::vector<double>& xs, const char* who) {
+  if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "mean");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "variance");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double standardDeviation(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double rms(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "rms");
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double minValue(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "minValue");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxValue(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "maxValue");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double peakToPeak(const std::vector<double>& xs) { return maxValue(xs) - minValue(xs); }
+
+size_t argMax(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "argMax");
+  return static_cast<size_t>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+size_t argMin(const std::vector<double>& xs) {
+  requireNonEmpty(xs, "argMin");
+  return static_cast<size_t>(std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace pllbist::dsp

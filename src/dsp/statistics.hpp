@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pllbist::dsp {
+
+/// Basic descriptive statistics over a sample vector. All throw
+/// std::invalid_argument on empty input unless noted.
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);    // population variance
+double standardDeviation(const std::vector<double>& xs);
+double rms(const std::vector<double>& xs);
+double minValue(const std::vector<double>& xs);
+double maxValue(const std::vector<double>& xs);
+double peakToPeak(const std::vector<double>& xs);
+
+/// Index of the maximum element (first occurrence).
+size_t argMax(const std::vector<double>& xs);
+size_t argMin(const std::vector<double>& xs);
+
+}  // namespace pllbist::dsp

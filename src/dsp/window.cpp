@@ -1,0 +1,61 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace pllbist::dsp {
+
+namespace {
+void requirePositive(size_t n) {
+  if (n == 0) throw std::invalid_argument("window: length must be >= 1");
+}
+double phase(size_t i, size_t n) {
+  return (n == 1) ? 0.0 : kTwoPi * static_cast<double>(i) / static_cast<double>(n - 1);
+}
+}  // namespace
+
+std::vector<double> rectangularWindow(size_t n) {
+  requirePositive(n);
+  return std::vector<double>(n, 1.0);
+}
+
+std::vector<double> hannWindow(size_t n) {
+  requirePositive(n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = 0.5 * (1.0 - std::cos(phase(i, n)));
+  return w;
+}
+
+std::vector<double> hammingWindow(size_t n) {
+  requirePositive(n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = 0.54 - 0.46 * std::cos(phase(i, n));
+  return w;
+}
+
+std::vector<double> blackmanWindow(size_t n) {
+  requirePositive(n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i)
+    w[i] = 0.42 - 0.5 * std::cos(phase(i, n)) + 0.08 * std::cos(2.0 * phase(i, n));
+  return w;
+}
+
+std::vector<double> applyWindow(const std::vector<double>& signal,
+                                const std::vector<double>& window) {
+  if (signal.size() != window.size()) throw std::invalid_argument("applyWindow: size mismatch");
+  std::vector<double> out(signal.size());
+  for (size_t i = 0; i < signal.size(); ++i) out[i] = signal[i] * window[i];
+  return out;
+}
+
+double coherentGain(const std::vector<double>& window) {
+  if (window.empty()) throw std::invalid_argument("coherentGain: empty window");
+  double acc = 0.0;
+  for (double w : window) acc += w;
+  return acc / static_cast<double>(window.size());
+}
+
+}  // namespace pllbist::dsp

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pllbist::dsp {
+
+/// Standard analysis windows of length n (n >= 1).
+std::vector<double> rectangularWindow(size_t n);
+std::vector<double> hannWindow(size_t n);
+std::vector<double> hammingWindow(size_t n);
+std::vector<double> blackmanWindow(size_t n);
+
+/// Element-wise application of a window to a signal (sizes must match).
+std::vector<double> applyWindow(const std::vector<double>& signal,
+                                const std::vector<double>& window);
+
+/// Coherent gain of a window (mean of its samples), for amplitude correction.
+double coherentGain(const std::vector<double>& window);
+
+}  // namespace pllbist::dsp

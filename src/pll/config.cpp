@@ -1,0 +1,167 @@
+#include "pll/config.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "control/polynomial.hpp"
+
+namespace pllbist::pll {
+
+void PllConfig::validate() const {
+  if (ref_frequency_hz <= 0.0) throw std::invalid_argument("PllConfig: ref frequency must be positive");
+  if (divider_n < 1) throw std::invalid_argument("PllConfig: divider N must be >= 1");
+  if (ref_divider_r < 1) throw std::invalid_argument("PllConfig: reference divider R must be >= 1");
+  pump.validate();
+  vco.validate();
+  pfd.validate();
+}
+
+double PllConfig::kpdVPerRad() const {
+  if (pump.kind == PumpKind::Voltage4046) return (pump.vdd_v - pump.vss_v) / (4.0 * kPi);
+  throw std::domain_error("PllConfig::kpdVPerRad: current pump gain is Ip/(2*pi) A/rad, not V/rad");
+}
+
+double PllConfig::koRadPerSecPerV() const { return kTwoPi * vco.gain_hz_per_v; }
+
+control::LoopParameters PllConfig::linearized() const {
+  validate();
+  if (pump.kind != PumpKind::Voltage4046)
+    throw std::domain_error("PllConfig::linearized: eqn (3) lag-lead model requires Voltage4046 pump");
+  control::LoopParameters lp;
+  lp.kpd_v_per_rad = kpdVPerRad();
+  lp.kvco_rad_per_s_per_v = koRadPerSecPerV();
+  lp.divider_n = static_cast<double>(divider_n);
+  lp.r1_ohm = pump.r1_ohm;
+  lp.r2_ohm = pump.r2_ohm;
+  lp.c_farad = pump.c_farad;
+  return lp;
+}
+
+control::TransferFunction PllConfig::closedLoopDividedTf() const {
+  validate();
+  if (pump.kind == PumpKind::Voltage4046) return control::closedLoopDividedTf(linearized());
+
+  // Current pump with series R2 + C impedance: type-2 loop.
+  //   Kd = Ip/(2*pi) [A/rad], Z(s) = (1 + s*R2*C)/(s*C),
+  //   closed (divided) = Kd*Ko*(1+s*R2*C) / (N*C*s^2 + Kd*Ko*R2*C*s + Kd*Ko).
+  const double kd = pump.pump_current_a / kTwoPi;
+  const double k = kd * koRadPerSecPerV();
+  const double t2 = pump.r2_ohm * pump.c_farad;
+  const double nc = static_cast<double>(divider_n) * pump.c_farad;
+  return {control::Polynomial({k, k * t2}), control::Polynomial({k, k * t2, nc})};
+}
+
+control::TransferFunction PllConfig::capacitorNodeTf() const {
+  if (pump.kind == PumpKind::Voltage4046) return control::capacitorNodeTf(linearized());
+  const double kd = pump.pump_current_a / kTwoPi;
+  const double k = kd * koRadPerSecPerV();
+  const double t2 = pump.r2_ohm * pump.c_farad;
+  const double nc = static_cast<double>(divider_n) * pump.c_farad;
+  return {control::Polynomial({k}), control::Polynomial({k, k * t2, nc})};
+}
+
+control::SecondOrderParams PllConfig::secondOrder() const {
+  if (pump.kind == PumpKind::Voltage4046) return control::exactSecondOrder(linearized());
+  const double kd = pump.pump_current_a / kTwoPi;
+  const double k = kd * koRadPerSecPerV();
+  const double wn = std::sqrt(k / (static_cast<double>(divider_n) * pump.c_farad));
+  return {wn, wn * pump.r2_ohm * pump.c_farad / 2.0};
+}
+
+PllConfig referenceConfig() {
+  PllConfig cfg;
+  cfg.ref_frequency_hz = 1000.0;
+  cfg.divider_n = 50;
+
+  cfg.pump.kind = PumpKind::Voltage4046;
+  cfg.pump.vdd_v = 5.0;
+  cfg.pump.vss_v = 0.0;
+  cfg.pump.c_farad = 470e-9;
+  cfg.pump.initial_vc_v = 2.5;
+
+  cfg.vco.center_frequency_hz = cfg.nominalVcoHz();  // 50 kHz at mid-rail
+  cfg.vco.gain_hz_per_v = 38.3e3;
+  cfg.vco.v_center_v = 2.5;
+  cfg.vco.min_frequency_hz = 5e3;
+  cfg.vco.max_frequency_hz = 100e3;
+
+  // Solve R1/R2 so the exact closed-loop response lands on the paper's
+  // measured anchors fn = 8 Hz, zeta = 0.43.
+  control::LoopParameters base;
+  base.kpd_v_per_rad = (cfg.pump.vdd_v - cfg.pump.vss_v) / (4.0 * kPi);
+  base.kvco_rad_per_s_per_v = kTwoPi * cfg.vco.gain_hz_per_v;
+  base.divider_n = static_cast<double>(cfg.divider_n);
+  base.c_farad = cfg.pump.c_farad;
+  const control::LoopParameters solved =
+      control::designForResponse(base, hzToRadPerSec(8.0), 0.43);
+  cfg.pump.r1_ohm = solved.r1_ohm;
+  cfg.pump.r2_ohm = solved.r2_ohm;
+
+  cfg.validate();
+  return cfg;
+}
+
+ReferenceStimulus referenceStimulus() { return ReferenceStimulus{}; }
+
+PllConfig scaledCurrentPumpConfig(double fn_hz, double zeta, double pump_current_a) {
+  if (fn_hz <= 0.0 || zeta <= 0.0)
+    throw std::invalid_argument("scaledCurrentPumpConfig: fn and zeta must be positive");
+  PllConfig cfg;
+  cfg.ref_frequency_hz = 10e3;
+  cfg.divider_n = 10;
+
+  cfg.pump.kind = PumpKind::CurrentSteering;
+  cfg.pump.vdd_v = 5.0;
+  cfg.pump.vss_v = 0.0;
+  cfg.pump.pump_current_a = pump_current_a;
+  cfg.pump.r1_ohm = 1.0;  // unused by the current pump; must be positive
+  cfg.pump.initial_vc_v = 2.5;
+
+  cfg.vco.center_frequency_hz = cfg.nominalVcoHz();
+  cfg.vco.gain_hz_per_v = 50e3;
+  cfg.vco.v_center_v = 2.5;
+  cfg.vco.min_frequency_hz = 10e3;
+  cfg.vco.max_frequency_hz = 200e3;
+
+  // wn^2 = Kd*Ko/(N*C) with Kd = Ip/(2*pi), Ko = 2*pi*Kv  =>  C from wn;
+  // zeta = wn*R2*C/2  =>  R2 from zeta.
+  const double wn = hzToRadPerSec(fn_hz);
+  const double kd_ko = pump_current_a * cfg.vco.gain_hz_per_v;
+  cfg.pump.c_farad = kd_ko / (static_cast<double>(cfg.divider_n) * wn * wn);
+  cfg.pump.r2_ohm = 2.0 * zeta / (wn * cfg.pump.c_farad);
+  cfg.validate();
+  return cfg;
+}
+
+PllConfig scaledTestConfig(double fn_hz, double zeta) {
+  PllConfig cfg;
+  cfg.ref_frequency_hz = 10e3;
+  cfg.divider_n = 10;
+
+  cfg.pump.kind = PumpKind::Voltage4046;
+  cfg.pump.vdd_v = 5.0;
+  cfg.pump.vss_v = 0.0;
+  cfg.pump.c_farad = 100e-9;
+  cfg.pump.initial_vc_v = 2.5;
+
+  cfg.vco.center_frequency_hz = cfg.nominalVcoHz();
+  cfg.vco.gain_hz_per_v = 50e3;
+  cfg.vco.v_center_v = 2.5;
+  cfg.vco.min_frequency_hz = 10e3;
+  cfg.vco.max_frequency_hz = 200e3;
+
+  control::LoopParameters base;
+  base.kpd_v_per_rad = (cfg.pump.vdd_v - cfg.pump.vss_v) / (4.0 * kPi);
+  base.kvco_rad_per_s_per_v = kTwoPi * cfg.vco.gain_hz_per_v;
+  base.divider_n = static_cast<double>(cfg.divider_n);
+  base.c_farad = cfg.pump.c_farad;
+  const control::LoopParameters solved =
+      control::designForResponse(base, hzToRadPerSec(fn_hz), zeta);
+  cfg.pump.r1_ohm = solved.r1_ohm;
+  cfg.pump.r2_ohm = solved.r2_ohm;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace pllbist::pll

@@ -1,0 +1,86 @@
+#pragma once
+
+#include "control/cppll_model.hpp"
+#include "control/transfer_function.hpp"
+#include "pll/pfd.hpp"
+#include "pll/pump_filter.hpp"
+#include "pll/vco.hpp"
+
+namespace pllbist::pll {
+
+/// Full electrical description of a CP-PLL under test.
+struct PllConfig {
+  double ref_frequency_hz = 1000.0;  ///< nominal reference at the PFD
+  int divider_n = 50;                ///< feedback division ratio
+  /// Reference divider R on the *external* input path (Figure 6 includes
+  /// reference dividers in the FPGA). The normal-mode input runs at
+  /// R * ref_frequency_hz; the BIST stimulus drives the PFD rate directly.
+  int ref_divider_r = 1;
+  PumpFilterConfig pump;
+  VcoConfig vco;
+  PfdDelays pfd;
+
+  void validate() const;
+
+  /// Linearised phase-detector gain in V/rad. For the 4046-style tri-state
+  /// voltage output about a mid-rail operating point this is Vdd/(4*pi) —
+  /// the paper's 0.4 V/rad at Vdd = 5 V.
+  [[nodiscard]] double kpdVPerRad() const;
+
+  /// VCO gain in rad/s per volt (Ko).
+  [[nodiscard]] double koRadPerSecPerV() const;
+
+  /// Linearised loop parameters (only meaningful for PumpKind::Voltage4046,
+  /// whose filter matches eqn (3); throws std::domain_error otherwise).
+  [[nodiscard]] control::LoopParameters linearized() const;
+
+  /// Closed-loop phase transfer function at the divided output (unity DC
+  /// gain), for either pump kind.
+  [[nodiscard]] control::TransferFunction closedLoopDividedTf() const;
+
+  /// The response the peak-detect-and-hold BIST physically captures: the
+  /// capacitor-node transfer (closed loop with the filter zero divided
+  /// out). See control::capacitorNodeTf for the derivation.
+  [[nodiscard]] control::TransferFunction capacitorNodeTf() const;
+
+  /// Exact second-order natural frequency / damping for either pump kind.
+  [[nodiscard]] control::SecondOrderParams secondOrder() const;
+
+  /// Nominal VCO frequency implied by the loop: N * fref.
+  [[nodiscard]] double nominalVcoHz() const { return ref_frequency_hz * divider_n; }
+};
+
+/// The paper's Table 3 test set-up, reconstructed. The scanned table is
+/// OCR-damaged, so the constants are re-derived from the quantities the
+/// paper states unambiguously:
+///   - Vdd = 5 V => Kpd = Vdd/(4*pi) = 0.398 V/rad ("0.4 V/rad")
+///   - Kv = 38.3 kHz/V (= 0.241 Mrad/s/V)
+///   - reference 1 kHz, N = 50, C = 470 nF, 1 MHz DCO master clock,
+///     +/-10 Hz maximum reference deviation, 10 discrete FM steps
+///   - R1, R2 solved (designForResponse) so that fn = 8 Hz and zeta = 0.43
+///     exactly match the measured anchors of Figures 11/12.
+PllConfig referenceConfig();
+
+/// A PLL that behaves like the reference device but scaled so that closed-
+/// loop simulations run two orders of magnitude faster: fref = 10 kHz,
+/// N = 10 (VCO 100 kHz), natural frequency and damping as requested.
+/// Intended for tests, demos and quick experiments; the BIST logic is
+/// scale-free. Throws std::domain_error for unreachable damping targets.
+PllConfig scaledTestConfig(double fn_hz = 200.0, double zeta = 0.43);
+
+/// The same fast-simulating device built around a classic current-steering
+/// charge pump (type-2 loop: Ip into R2 + C). Component values are solved
+/// from the requested response: C from wn, R2 from zeta.
+PllConfig scaledCurrentPumpConfig(double fn_hz = 200.0, double zeta = 0.43,
+                                  double pump_current_a = 100e-6);
+
+/// Stimulus parameters that accompany referenceConfig() (Table 3 rows that
+/// describe the test rather than the PLL).
+struct ReferenceStimulus {
+  double master_clock_hz = 1e6;     ///< DCO / test clock reference
+  double max_deviation_hz = 10.0;   ///< peak reference-frequency deviation
+  int fm_steps = 10;                ///< discrete FM steps per modulation period
+};
+ReferenceStimulus referenceStimulus();
+
+}  // namespace pllbist::pll

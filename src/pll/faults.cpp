@@ -1,0 +1,98 @@
+#include "pll/faults.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pllbist::pll {
+
+std::string to_string(FaultSpec::Kind kind) {
+  switch (kind) {
+    case FaultSpec::Kind::None: return "none";
+    case FaultSpec::Kind::VcoGainDrift: return "vco-gain-drift";
+    case FaultSpec::Kind::VcoCenterDrift: return "vco-center-drift";
+    case FaultSpec::Kind::PumpUpWeak: return "pump-up-weak";
+    case FaultSpec::Kind::PumpDownWeak: return "pump-down-weak";
+    case FaultSpec::Kind::FilterR2Drift: return "filter-r2-drift";
+    case FaultSpec::Kind::FilterCDrift: return "filter-c-drift";
+    case FaultSpec::Kind::FilterLeak: return "filter-leak";
+    case FaultSpec::Kind::PfdDeadZone: return "pfd-dead-zone";
+    case FaultSpec::Kind::DividerWrongN: return "divider-wrong-n";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::describe() const {
+  if (kind == Kind::None) return "none";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s x%g", to_string(kind).c_str(), magnitude);
+  return buf;
+}
+
+PllConfig applyFault(const PllConfig& golden, const FaultSpec& fault) {
+  PllConfig cfg = golden;
+  const double m = fault.magnitude;
+  auto requirePositiveScale = [&] {
+    if (m <= 0.0) throw std::invalid_argument("applyFault: scale magnitude must be positive");
+  };
+  switch (fault.kind) {
+    case FaultSpec::Kind::None:
+      break;
+    case FaultSpec::Kind::VcoGainDrift:
+      requirePositiveScale();
+      cfg.vco.gain_hz_per_v *= m;
+      break;
+    case FaultSpec::Kind::VcoCenterDrift:
+      requirePositiveScale();
+      cfg.vco.center_frequency_hz *= m;
+      break;
+    case FaultSpec::Kind::PumpUpWeak:
+      requirePositiveScale();
+      cfg.pump.up_strength *= m;
+      break;
+    case FaultSpec::Kind::PumpDownWeak:
+      requirePositiveScale();
+      cfg.pump.down_strength *= m;
+      break;
+    case FaultSpec::Kind::FilterR2Drift:
+      requirePositiveScale();
+      cfg.pump.r2_ohm *= m;
+      break;
+    case FaultSpec::Kind::FilterCDrift:
+      requirePositiveScale();
+      cfg.pump.c_farad *= m;
+      break;
+    case FaultSpec::Kind::FilterLeak:
+      if (m <= 0.0) throw std::invalid_argument("applyFault: leak resistance must be positive");
+      cfg.pump.leak_ohm = m;
+      break;
+    case FaultSpec::Kind::PfdDeadZone:
+      requirePositiveScale();
+      cfg.pfd.ff_clk_to_q_s *= m;
+      cfg.pfd.and_delay_s *= m;
+      cfg.pfd.ff_reset_to_q_s *= m;
+      break;
+    case FaultSpec::Kind::DividerWrongN: {
+      // A stuck counter bit or decode defect: the divider wraps at the
+      // wrong count. The loop locks the *divided* output to the reference,
+      // so the VCO runs at the wrong absolute frequency.
+      const int n = static_cast<int>(m);
+      if (n < 1 || std::abs(m - n) > 1e-9)
+        throw std::invalid_argument("applyFault: DividerWrongN magnitude must be a positive integer");
+      cfg.divider_n = n;
+      break;
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+std::vector<FaultSpec> standardFaultSet() {
+  using K = FaultSpec::Kind;
+  return {
+      {K::VcoGainDrift, 0.5},   {K::VcoGainDrift, 2.0},  {K::FilterCDrift, 0.5},
+      {K::FilterCDrift, 2.0},   {K::FilterR2Drift, 0.3}, {K::FilterR2Drift, 3.0},
+      {K::PumpUpWeak, 0.4},     {K::PumpDownWeak, 0.4},
+  };
+}
+
+}  // namespace pllbist::pll

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pll/config.hpp"
+
+namespace pllbist::pll {
+
+/// Parametric fault classes relevant to embedded CP-PLLs (the defect
+/// universe motivating the paper's DfT: section 1 and reference [1]).
+/// `magnitude` is interpreted per-kind as documented below.
+struct FaultSpec {
+  enum class Kind {
+    None,          ///< golden device (magnitude ignored)
+    VcoGainDrift,  ///< Kv scaled by magnitude (e.g. 0.5 = half gain)
+    VcoCenterDrift,///< VCO center frequency scaled by magnitude
+    PumpUpWeak,    ///< up drive strength scaled by magnitude (< 1)
+    PumpDownWeak,  ///< down drive strength scaled by magnitude (< 1)
+    FilterR2Drift, ///< R2 scaled by magnitude (damping fault)
+    FilterCDrift,  ///< C scaled by magnitude (bandwidth fault)
+    FilterLeak,    ///< leak resistance set to magnitude ohms
+    PfdDeadZone,   ///< all PFD delays scaled by magnitude (> 1 widens glitches)
+    DividerWrongN, ///< catastrophic: feedback divider counts magnitude instead of N
+  };
+
+  Kind kind = Kind::None;
+  double magnitude = 1.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] std::string to_string(FaultSpec::Kind kind);
+
+/// Apply a fault to a configuration, returning the mutated copy. Throws
+/// std::invalid_argument for nonsensical magnitudes (e.g. negative scale).
+[[nodiscard]] PllConfig applyFault(const PllConfig& golden, const FaultSpec& fault);
+
+/// A representative fault list for coverage experiments: each entry shifts
+/// the closed-loop response (fn, zeta, peaking or hold droop) enough that a
+/// transfer-function signature test should flag it.
+[[nodiscard]] std::vector<FaultSpec> standardFaultSet();
+
+}  // namespace pllbist::pll

@@ -1,0 +1,29 @@
+#include "pll/pfd.hpp"
+
+#include <stdexcept>
+
+namespace pllbist::pll {
+
+void PfdDelays::validate() const {
+  if (ff_clk_to_q_s <= 0.0 || and_delay_s <= 0.0 || ff_reset_to_q_s <= 0.0)
+    throw std::invalid_argument("PfdDelays: all delays must be positive");
+}
+
+namespace {
+const PfdDelays& validated(const PfdDelays& d) {
+  d.validate();
+  return d;
+}
+}  // namespace
+
+Pfd::Pfd(sim::Circuit& c, sim::SignalId ref, sim::SignalId fb, const PfdDelays& delays,
+         const std::string& prefix)
+    : up_(c.addSignal(prefix + ".up")),
+      dn_(c.addSignal(prefix + ".dn")),
+      rst_(c.addSignal(prefix + ".rst")),
+      tied_high_(c.addSignal(prefix + ".high", true)),
+      ff_up_(c, ref, tied_high_, up_, validated(delays).ff_clk_to_q_s, rst_, delays.ff_reset_to_q_s),
+      ff_dn_(c, fb, tied_high_, dn_, delays.ff_clk_to_q_s, rst_, delays.ff_reset_to_q_s),
+      reset_and_(c, up_, dn_, rst_, delays.and_delay_s) {}
+
+}  // namespace pllbist::pll

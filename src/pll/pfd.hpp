@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+
+namespace pllbist::pll {
+
+/// Gate delays of the PFD's internal elements. The dead-zone glitch width is
+/// approximately and_delay + ff_reset_to_q: when the loop is phase-aligned,
+/// both outputs pulse high for that long every reference cycle (the paper's
+/// Figure 5 "coincident dead zone pulses"). The peak-detect circuitry is
+/// clocked from exactly these glitches, so they are modelled structurally
+/// rather than abstracted away.
+struct PfdDelays {
+  double ff_clk_to_q_s = 4e-9;
+  double and_delay_s = 3e-9;
+  double ff_reset_to_q_s = 4e-9;
+
+  [[nodiscard]] double glitchWidth() const { return and_delay_s + ff_reset_to_q_s; }
+  void validate() const;
+};
+
+/// Tri-state phase-frequency detector built structurally from two D
+/// flip-flops (D tied high) and a reset AND gate — the textbook topology of
+/// the paper's Figure 5 discussion:
+///
+///   REF rising -> UP := 1;  FB rising -> DN := 1;  UP && DN -> reset both.
+///
+/// When REF leads, UP pulses with width ~= the phase error (plus the glitch
+/// tail on DN); when FB leads, DN pulses; when aligned, both emit dead-zone
+/// glitches. Works as both the in-loop detector and the monitor-only
+/// detector of the BIST response capture (Figure 7).
+class Pfd : public sim::Component {
+ public:
+  Pfd(sim::Circuit& c, sim::SignalId ref, sim::SignalId fb, const PfdDelays& delays,
+      const std::string& name_prefix = "pfd");
+
+  [[nodiscard]] sim::SignalId up() const { return up_; }
+  [[nodiscard]] sim::SignalId dn() const { return dn_; }
+  /// The internal reset net (= UP AND DN delayed); the BIST uses its rising
+  /// edge as the glitch-derived sampling clock.
+  [[nodiscard]] sim::SignalId resetNet() const { return rst_; }
+
+ private:
+  sim::SignalId up_;
+  sim::SignalId dn_;
+  sim::SignalId rst_;
+  sim::SignalId tied_high_;
+  // Construction order matters: members initialise top-down and register
+  // their callbacks in the circuit.
+  sim::DFlipFlop ff_up_;
+  sim::DFlipFlop ff_dn_;
+  sim::AndGate reset_and_;
+};
+
+}  // namespace pllbist::pll

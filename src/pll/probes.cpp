@@ -1,0 +1,65 @@
+#include "pll/probes.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace pllbist::pll {
+
+AnalogProbe::AnalogProbe(sim::Circuit& c, std::function<double()> getter, sim::Trace& trace,
+                         double interval_s, double start_time_s)
+    : circuit_(c), getter_(std::move(getter)), trace_(trace), interval_(interval_s) {
+  if (interval_s <= 0.0) throw std::invalid_argument("AnalogProbe: interval must be positive");
+  restart(start_time_s);
+}
+
+void AnalogProbe::setInterval(double interval_s) {
+  if (interval_s <= 0.0) throw std::invalid_argument("AnalogProbe: interval must be positive");
+  interval_ = interval_s;
+}
+
+void AnalogProbe::restart(double start_time_s) {
+  PLLBIST_ASSERT(start_time_s >= circuit_.now());
+  const unsigned generation = ++generation_;
+  circuit_.scheduleCallback(start_time_s,
+                            [this, generation](double now) { sample(now, generation); });
+}
+
+void AnalogProbe::sample(double now, unsigned generation) {
+  if (generation != generation_) return;
+  trace_.append(now, getter_());
+  circuit_.scheduleCallback(now + interval_,
+                            [this, generation](double t) { sample(t, generation); });
+}
+
+LockDetector::LockDetector(sim::Circuit& c, sim::SignalId up, sim::SignalId dn,
+                           double width_threshold_s, int required_cycles)
+    : threshold_(width_threshold_s), required_(required_cycles) {
+  if (width_threshold_s <= 0.0) throw std::invalid_argument("LockDetector: threshold must be positive");
+  if (required_cycles < 1) throw std::invalid_argument("LockDetector: required cycles must be >= 1");
+  c.onChange(up, [this](double now, bool v) {
+    if (v)
+      up_rise_ = now;
+    else if (up_rise_ >= 0.0)
+      pulseFinished(now, now - up_rise_);
+  });
+  c.onChange(dn, [this](double now, bool v) {
+    if (v)
+      dn_rise_ = now;
+    else if (dn_rise_ >= 0.0)
+      pulseFinished(now, now - dn_rise_);
+  });
+}
+
+void LockDetector::pulseFinished(double now, double width) {
+  if (width <= threshold_) {
+    if (consecutive_ok_ < required_) {
+      ++consecutive_ok_;
+      if (consecutive_ok_ == required_) lock_time_ = now;
+    }
+  } else {
+    consecutive_ok_ = 0;
+  }
+}
+
+}  // namespace pllbist::pll

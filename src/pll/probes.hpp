@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+#include "sim/trace.hpp"
+
+namespace pllbist::pll {
+
+/// Samples an arbitrary analog quantity (control voltage, ground-truth VCO
+/// frequency, ...) into a Trace at a fixed interval. Verification-side
+/// instrumentation — the BIST hardware has no such access.
+class AnalogProbe : public sim::Component {
+ public:
+  AnalogProbe(sim::Circuit& c, std::function<double()> getter, sim::Trace& trace,
+              double interval_s, double start_time_s = 0.0);
+  void stop() { ++generation_; }
+
+  /// Resume sampling from `start_time_s` (>= now). Safe after stop(); any
+  /// previously pending sample chain is invalidated.
+  void restart(double start_time_s);
+
+  /// Change the sampling interval (effective from the next restart()).
+  void setInterval(double interval_s);
+
+  /// NOTE: the probe registers scheduled callbacks in the circuit; it must
+  /// outlive any further circuit activity (stop() does not unregister the
+  /// pending event, it only neutralises it).
+
+ private:
+  void sample(double now, unsigned generation);
+  sim::Circuit& circuit_;
+  std::function<double()> getter_;
+  sim::Trace& trace_;
+  double interval_;
+  unsigned generation_ = 0;
+};
+
+/// Declares the loop locked once both PFD outputs have produced only pulses
+/// shorter than `width_threshold_s` for `required_cycles` consecutive
+/// reference cycles. Mirrors the lock-detect circuits shipped alongside
+/// real CP-PLLs (and the paper's assumption "the PLL is initially locked").
+class LockDetector : public sim::Component {
+ public:
+  LockDetector(sim::Circuit& c, sim::SignalId up, sim::SignalId dn, double width_threshold_s,
+               int required_cycles = 8);
+
+  [[nodiscard]] bool isLocked() const { return consecutive_ok_ >= required_; }
+  /// Time at which lock was (most recently) achieved; meaningless unless
+  /// isLocked().
+  [[nodiscard]] double lockTime() const { return lock_time_; }
+  void reset() { consecutive_ok_ = 0; }
+
+ private:
+  void pulseFinished(double now, double width);
+  double threshold_;
+  int required_;
+  int consecutive_ok_ = 0;
+  double lock_time_ = 0.0;
+  double up_rise_ = -1.0;
+  double dn_rise_ = -1.0;
+};
+
+}  // namespace pllbist::pll

@@ -1,0 +1,111 @@
+#include "pll/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace pllbist::pll {
+
+void SineFmSource::Config::validate() const {
+  if (nominal_hz <= 0.0) throw std::invalid_argument("SineFmSource: nominal frequency must be positive");
+  if (deviation_hz < 0.0 || deviation_hz >= nominal_hz)
+    throw std::invalid_argument("SineFmSource: deviation must be in [0, nominal)");
+  if (modulation_hz < 0.0) throw std::invalid_argument("SineFmSource: modulation frequency must be >= 0");
+  if (marker_pulse_s <= 0.0) throw std::invalid_argument("SineFmSource: marker pulse width must be positive");
+  if (edge_jitter_rms_s < 0.0)
+    throw std::invalid_argument("SineFmSource: jitter RMS must be >= 0");
+  if (edge_jitter_rms_s > 0.05 / nominal_hz)
+    throw std::invalid_argument("SineFmSource: jitter RMS must stay below 5% of the period");
+}
+
+SineFmSource::SineFmSource(sim::Circuit& c, sim::SignalId out, sim::SignalId peak_marker,
+                           const Config& cfg)
+    : circuit_(c),
+      out_(out),
+      peak_marker_(peak_marker),
+      cfg_(cfg),
+      mod_epoch_(cfg.start_time_s),
+      jitter_rng_(cfg.jitter_seed) {
+  cfg_.validate();
+  PLLBIST_ASSERT(cfg.start_time_s >= c.now());
+  circuit_.scheduleCallback(cfg.start_time_s, [this](double now) { toggle(now); });
+  if (cfg_.modulation_hz > 0.0) schedulePeakMarker(cfg.start_time_s);
+}
+
+double SineFmSource::instantaneousFrequency(double t) const {
+  if (cfg_.modulation_hz <= 0.0 || t < mod_epoch_) return cfg_.nominal_hz;
+  return cfg_.nominal_hz +
+         cfg_.deviation_hz * std::sin(kTwoPi * cfg_.modulation_hz * (t - mod_epoch_));
+}
+
+double SineFmSource::jitteredEmissionTime(double clean_time) {
+  if (cfg_.edge_jitter_rms_s <= 0.0) return clean_time;
+  // Non-accumulating edge jitter: the internal (clean) timeline is never
+  // perturbed, only the emitted transition. A fixed +3 sigma insertion
+  // delay keeps every emission in the future; truncation at +/-3 sigma
+  // guarantees edges cannot reorder (6 sigma < half period by validate()).
+  const double sigma = cfg_.edge_jitter_rms_s;
+  double j = jitter_dist_(jitter_rng_) * sigma;
+  j = std::clamp(j, -3.0 * sigma, 3.0 * sigma);
+  return clean_time + 3.0 * sigma + j;
+}
+
+void SineFmSource::toggle(double now) {
+  // Track the output polarity internally: with jitter, the previous
+  // emission may still be queued, so reading the net's current value would
+  // produce duplicate (swallowed) transitions.
+  out_state_ = !out_state_;
+  circuit_.scheduleSet(out_, jitteredEmissionTime(now), out_state_);
+  const double f = instantaneousFrequency(now);
+  circuit_.scheduleCallback(now + 0.5 / f, [this](double t) { toggle(t); });
+}
+
+void SineFmSource::setModulation(double modulation_hz, double deviation_hz) {
+  if (modulation_hz < 0.0) throw std::invalid_argument("SineFmSource: modulation frequency must be >= 0");
+  if (deviation_hz < 0.0 || deviation_hz >= cfg_.nominal_hz)
+    throw std::invalid_argument("SineFmSource: deviation must be in [0, nominal)");
+  cfg_.modulation_hz = modulation_hz;
+  cfg_.deviation_hz = deviation_hz;
+  mod_epoch_ = circuit_.now();
+  ++marker_generation_;  // cancel any marker scheduled under the old program
+  if (modulation_hz > 0.0) schedulePeakMarker(circuit_.now());
+}
+
+void SineFmSource::setCarrier(double nominal_hz) {
+  if (nominal_hz <= 0.0) throw std::invalid_argument("SineFmSource: carrier must be positive");
+  if (cfg_.deviation_hz >= nominal_hz)
+    throw std::invalid_argument("SineFmSource: carrier must exceed deviation");
+  cfg_.nominal_hz = nominal_hz;
+}
+
+void SineFmSource::schedulePeakMarker(double from_time) {
+  // Positive crest: modulation phase = pi/2 (mod 2*pi). Subsequent markers
+  // advance by exactly one period (re-deriving the phase with fmod would
+  // accumulate round-off and can collapse the wait to ~0, livelocking the
+  // event queue).
+  const double period = 1.0 / cfg_.modulation_hz;
+  const double phase_time = std::fmod(from_time - mod_epoch_, period);
+  double wait = period * 0.25 - phase_time;
+  const double kMinWait = 1e-12;
+  while (wait < kMinWait) wait += period;
+  scheduleMarkerAt(from_time + wait, period);
+}
+
+void SineFmSource::scheduleMarkerAt(double t, double period) {
+  const unsigned generation = marker_generation_;
+  circuit_.scheduleCallback(t, [this, generation, t, period](double now) {
+    if (generation != marker_generation_) return;
+    emitPeakMarker(now);
+    scheduleMarkerAt(t + period, period);
+  });
+}
+
+void SineFmSource::emitPeakMarker(double now) {
+  circuit_.scheduleSet(peak_marker_, now, true);
+  circuit_.scheduleSet(peak_marker_, now + cfg_.marker_pulse_s, false);
+}
+
+}  // namespace pllbist::pll

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <random>
+
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+
+namespace pllbist::pll {
+
+/// Ideal sinusoidally frequency-modulated square-wave source:
+///   f(t) = f_nominal + deviation * sin(2*pi*f_mod*(t - t_start))
+///
+/// Stands in for the bench-type phase/frequency-modulation generator of the
+/// paper's Figure 3 and for the "Pure Sine FM" series of Figures 11/12.
+/// The output toggles at half-period granularity with the frequency sampled
+/// at each toggle (the modulation is orders of magnitude slower than the
+/// carrier, so the staircase error is negligible).
+///
+/// A one-master-clock-tick pulse is emitted on `peak_marker` each time the
+/// modulation passes its positive crest — the "known stimulus peak" the
+/// phase counter is started from (Table 2 stage 1).
+class SineFmSource : public sim::Component {
+ public:
+  struct Config {
+    double nominal_hz = 0.0;
+    double deviation_hz = 0.0;      ///< peak frequency deviation
+    double modulation_hz = 0.0;     ///< modulation (tone) frequency; 0 = CW
+    double start_time_s = 0.0;      ///< modulation (and output) start
+    double marker_pulse_s = 1e-6;   ///< width of the peak-marker pulse
+    /// RMS of Gaussian, non-accumulating edge jitter added to every output
+    /// transition (truncated at +/-3 sigma; a fixed 3-sigma insertion delay
+    /// keeps causality). 0 disables. Deterministic per `jitter_seed`.
+    double edge_jitter_rms_s = 0.0;
+    unsigned jitter_seed = 1;
+    void validate() const;
+  };
+
+  SineFmSource(sim::Circuit& c, sim::SignalId out, sim::SignalId peak_marker, const Config& cfg);
+
+  /// Re-program modulation frequency (takes effect from the next toggle;
+  /// modulation phase restarts at the current time). deviation may also be
+  /// changed. Passing modulation_hz = 0 reverts to an unmodulated carrier.
+  void setModulation(double modulation_hz, double deviation_hz);
+
+  /// Re-program the carrier (nominal) frequency; used to park the source at
+  /// a static offset for DC reference measurements.
+  void setCarrier(double nominal_hz);
+
+  [[nodiscard]] double instantaneousFrequency(double t) const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  void toggle(double now);
+  void emitPeakMarker(double now);
+  void schedulePeakMarker(double from_time);
+  void scheduleMarkerAt(double t, double period);
+
+  [[nodiscard]] double jitteredEmissionTime(double clean_time);
+
+  sim::Circuit& circuit_;
+  sim::SignalId out_;
+  sim::SignalId peak_marker_;
+  Config cfg_;
+  double mod_epoch_ = 0.0;  ///< time at which modulation phase is zero
+  unsigned marker_generation_ = 0;  ///< invalidates stale marker callbacks
+  bool out_state_ = false;          ///< internal output polarity tracker
+  std::mt19937 jitter_rng_;
+  std::normal_distribution<double> jitter_dist_{0.0, 1.0};
+};
+
+}  // namespace pllbist::pll

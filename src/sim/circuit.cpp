@@ -1,0 +1,104 @@
+#include "sim/circuit.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace pllbist::sim {
+
+SignalId Circuit::addSignal(std::string name, bool initial) {
+  signals_.push_back(SignalState{std::move(name), initial, {}});
+  return static_cast<SignalId>(signals_.size()) - 1;
+}
+
+void Circuit::checkId(SignalId id) const {
+  if (id < 0 || id >= static_cast<SignalId>(signals_.size()))
+    throw std::invalid_argument("Circuit: invalid signal id");
+}
+
+bool Circuit::value(SignalId id) const {
+  checkId(id);
+  return signals_[static_cast<size_t>(id)].value;
+}
+
+const std::string& Circuit::signalName(SignalId id) const {
+  checkId(id);
+  return signals_[static_cast<size_t>(id)].name;
+}
+
+void Circuit::onChange(SignalId id, ChangeCallback cb) {
+  checkId(id);
+  signals_[static_cast<size_t>(id)].change_callbacks.push_back(std::move(cb));
+}
+
+void Circuit::onRisingEdge(SignalId id, EdgeCallback cb) {
+  onChange(id, [cb = std::move(cb)](double now, bool value) {
+    if (value) cb(now);
+  });
+}
+
+void Circuit::onFallingEdge(SignalId id, EdgeCallback cb) {
+  onChange(id, [cb = std::move(cb)](double now, bool value) {
+    if (!value) cb(now);
+  });
+}
+
+void Circuit::scheduleSet(SignalId id, double t, bool value) {
+  checkId(id);
+  PLLBIST_ASSERT(t >= now_);
+  Event ev;
+  ev.time = t;
+  ev.seq = next_seq_++;
+  ev.signal = id;
+  ev.value = value;
+  queue_.push(std::move(ev));
+}
+
+void Circuit::scheduleCallback(double t, EdgeCallback cb) {
+  PLLBIST_ASSERT(t >= now_);
+  Event ev;
+  ev.time = t;
+  ev.seq = next_seq_++;
+  ev.signal = kNoSignal;
+  ev.callback = std::move(cb);
+  queue_.push(std::move(ev));
+}
+
+void Circuit::execute(Event& ev) {
+  now_ = ev.time;
+  ++processed_events_;
+  if (ev.signal == kNoSignal) {
+    ev.callback(now_);
+    return;
+  }
+  SignalState& sig = signals_[static_cast<size_t>(ev.signal)];
+  if (sig.value == ev.value) return;  // swallowed (no change)
+  sig.value = ev.value;
+  // Note: callbacks may register more callbacks on this signal; iterate by
+  // index so vector growth is safe.
+  for (size_t i = 0; i < sig.change_callbacks.size(); ++i) sig.change_callbacks[i](now_, ev.value);
+}
+
+bool Circuit::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; copy out then pop. Events are small.
+  Event ev = queue_.top();
+  queue_.pop();
+  execute(ev);
+  return true;
+}
+
+bool Circuit::run(double t_end) {
+  PLLBIST_ASSERT(t_end >= now_);
+  stop_requested_ = false;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    execute(ev);
+    if (stop_requested_) return false;
+  }
+  now_ = t_end;
+  return true;
+}
+
+}  // namespace pllbist::sim

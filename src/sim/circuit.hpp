@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace pllbist::sim {
+
+/// Index of a digital signal (net) inside a Circuit.
+using SignalId = int;
+inline constexpr SignalId kNoSignal = -1;
+
+/// Discrete-event simulator for the digital portion of the testbench.
+///
+/// A Circuit owns a set of boolean signals and a time-ordered event queue.
+/// Components (gates, flip-flops, dividers, the behavioral PLL blocks)
+/// register callbacks on signal transitions and schedule future transitions;
+/// time is a double in seconds with full precision, so ns-scale gate delays
+/// coexist with multi-second loop dynamics without quantisation.
+///
+/// Semantics:
+///  - Transport delay: every scheduled transition is delivered in time order
+///    (ties broken by insertion order). Glitches propagate, which is exactly
+///    what the paper's dead-zone-glitch-clocked peak detector requires.
+///  - A delivered transition that does not change the signal value is
+///    swallowed (no callbacks fire).
+///  - Callbacks run at the event's timestamp and may schedule further events
+///    at any time >= now.
+class Circuit {
+ public:
+  using EdgeCallback = std::function<void(double now)>;
+  using ChangeCallback = std::function<void(double now, bool value)>;
+
+  Circuit() = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+
+  /// Create a named signal with an initial value.
+  SignalId addSignal(std::string name, bool initial = false);
+
+  [[nodiscard]] bool value(SignalId id) const;
+  [[nodiscard]] const std::string& signalName(SignalId id) const;
+  [[nodiscard]] int signalCount() const { return static_cast<int>(signals_.size()); }
+
+  /// Register callbacks. All callbacks registered on a signal fire in
+  /// registration order when it changes.
+  void onChange(SignalId id, ChangeCallback cb);
+  void onRisingEdge(SignalId id, EdgeCallback cb);
+  void onFallingEdge(SignalId id, EdgeCallback cb);
+
+  /// Schedule signal id to take `value` at time t (>= now).
+  void scheduleSet(SignalId id, double t, bool value);
+
+  /// Schedule an arbitrary callback at time t (>= now).
+  void scheduleCallback(double t, EdgeCallback cb);
+
+  /// Immediately force a signal at the current time (delivered before any
+  /// later-scheduled events). Intended for testbench pokes.
+  void setNow(SignalId id, bool value) { scheduleSet(id, now_, value); }
+
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Process all events with timestamp <= t_end, then advance now to t_end.
+  /// Returns false if the run was interrupted by requestStop().
+  bool run(double t_end);
+
+  /// Process exactly one event if any is pending; returns false when idle.
+  bool step();
+
+  /// Callable from inside a callback to make run() return early.
+  void requestStop() { stop_requested_ = true; }
+
+  [[nodiscard]] uint64_t processedEventCount() const { return processed_events_; }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    uint64_t seq = 0;
+    SignalId signal = kNoSignal;  // kNoSignal => pure callback event
+    bool value = false;
+    EdgeCallback callback;        // only for callback events
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct SignalState {
+    std::string name;
+    bool value = false;
+    std::vector<ChangeCallback> change_callbacks;
+  };
+
+  void execute(Event& ev);
+  void checkId(SignalId id) const;
+
+  std::vector<SignalState> signals_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_events_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace pllbist::sim

@@ -1,0 +1,91 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "dsp/resample.hpp"
+
+namespace pllbist::sim {
+
+void Trace::append(double time_s, double value) {
+  PLLBIST_ASSERT(times_.empty() || time_s >= times_.back());
+  times_.push_back(time_s);
+  values_.push_back(value);
+}
+
+void Trace::clear() {
+  times_.clear();
+  values_.clear();
+}
+
+double Trace::at(double time_s) const {
+  return dsp::interpolateAt(times_, values_, time_s);
+}
+
+Trace Trace::after(double t0) const {
+  Trace out(name_);
+  for (size_t i = 0; i < times_.size(); ++i)
+    if (times_[i] >= t0) out.append(times_[i], values_[i]);
+  return out;
+}
+
+void writeTracesCsv(std::ostream& os, const std::vector<const Trace*>& traces) {
+  size_t max_len = 0;
+  for (const Trace* t : traces) {
+    if (t == nullptr) throw std::invalid_argument("writeTracesCsv: null trace");
+    max_len = std::max(max_len, t->size());
+  }
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i) os << ',';
+    os << "t_" << traces[i]->name() << ',' << traces[i]->name();
+  }
+  os << '\n';
+  for (size_t row = 0; row < max_len; ++row) {
+    for (size_t i = 0; i < traces.size(); ++i) {
+      if (i) os << ',';
+      if (row < traces[i]->size())
+        os << traces[i]->times()[row] << ',' << traces[i]->values()[row];
+      else
+        os << ',';
+    }
+    os << '\n';
+  }
+}
+
+std::string renderAscii(const Trace& trace, int width, int height) {
+  if (trace.empty() || width < 2 || height < 2) return "(empty trace)\n";
+  const double t0 = trace.times().front();
+  const double t1 = trace.times().back();
+  double vmin = trace.values().front(), vmax = vmin;
+  for (double v : trace.values()) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  if (vmax == vmin) vmax = vmin + 1.0;
+
+  std::vector<std::string> rows(static_cast<size_t>(height), std::string(static_cast<size_t>(width), ' '));
+  for (int col = 0; col < width; ++col) {
+    const double t = (t1 == t0) ? t0 : t0 + (t1 - t0) * col / (width - 1);
+    const double v = trace.at(t);
+    int row = static_cast<int>(std::lround((vmax - v) / (vmax - vmin) * (height - 1)));
+    row = std::clamp(row, 0, height - 1);
+    rows[static_cast<size_t>(row)][static_cast<size_t>(col)] = '*';
+  }
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s  [%.4g .. %.4g] over t=[%.4g, %.4g]s\n", trace.name().c_str(),
+                vmin, vmax, t0, t1);
+  out += buf;
+  for (auto& r : rows) {
+    out += '|';
+    out += r;
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace pllbist::sim

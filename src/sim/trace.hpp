@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pllbist::sim {
+
+/// A named analog waveform: (time, value) samples in ascending time.
+/// Used to record the loop-filter node and VCO frequency for the Figure 8
+/// style transient plots.
+class Trace {
+ public:
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void append(double time_s, double value);
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  void clear();
+
+  /// Value at an arbitrary time by linear interpolation (clamped ends).
+  [[nodiscard]] double at(double time_s) const;
+
+  /// Keep only samples with time >= t0 (used to discard settling).
+  [[nodiscard]] Trace after(double t0) const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// Write a set of traces as CSV (time column per trace pair) for external
+/// plotting. Traces may have different lengths; short ones leave blanks.
+void writeTracesCsv(std::ostream& os, const std::vector<const Trace*>& traces);
+
+/// ASCII-art rendering of a trace (rows = amplitude bins), for quick looks
+/// in bench output without a plotting stack.
+std::string renderAscii(const Trace& trace, int width = 100, int height = 16);
+
+}  // namespace pllbist::sim

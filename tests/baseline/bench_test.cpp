@@ -1,0 +1,121 @@
+#include "baseline/bench_measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "control/grid.hpp"
+#include "support/test_configs.hpp"
+
+namespace pllbist::baseline {
+namespace {
+
+using pllbist::testing::fastTestConfig;
+
+BenchOptions fastBenchOptions(int points = 6) {
+  BenchOptions opt;
+  opt.deviation_hz = 100.0;
+  opt.modulation_frequencies_hz = control::logspace(40.0, 600.0, points);
+  opt.lock_wait_s = 0.05;
+  return opt;
+}
+
+TEST(BenchOptions, Validation) {
+  BenchOptions opt = fastBenchOptions();
+  EXPECT_NO_THROW(opt.validate());
+  opt.deviation_hz = 0.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = fastBenchOptions();
+  opt.modulation_frequencies_hz = {100.0, 100.0};  // not strictly ascending
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = fastBenchOptions();
+  opt.samples_per_period = 4;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = fastBenchOptions();
+  opt.measure_periods = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+TEST(BenchMeasurement, VcoProbeMatchesEqn4Theory) {
+  // The bench has analog access and absolute calibration, so it recovers
+  // the *true* closed-loop H including the filter zero.
+  const pll::PllConfig cfg = fastTestConfig();
+  const BenchResult result = measureBench(cfg, fastBenchOptions(7));
+  const control::TransferFunction theory = cfg.closedLoopDividedTf();
+  ASSERT_EQ(result.points.size(), 7u);
+  for (const BenchPoint& p : result.points) {
+    const double w = hzToRadPerSec(p.modulation_hz);
+    EXPECT_NEAR(amplitudeToDb(p.gain), theory.magnitudeDbAt(w), 1.5) << p.modulation_hz;
+    double expected_phase = theory.phaseDegAt(w);
+    if (expected_phase > 0.0) expected_phase -= 360.0;
+    EXPECT_NEAR(p.phase_deg, expected_phase, 15.0) << p.modulation_hz;
+  }
+}
+
+TEST(BenchMeasurement, LoopFilterProbeAgreesWithVcoProbeInBand) {
+  // The two probes watch the same physical quantity; the point-sampled
+  // voltage node however carries pump-pulse ripple that grows with phase
+  // error, so agreement is asserted where the signal dominates the ripple
+  // (up to ~the natural frequency).
+  const pll::PllConfig cfg = fastTestConfig();
+  BenchOptions opt = fastBenchOptions(4);
+  opt.modulation_frequencies_hz = {40.0, 90.0, 200.0};
+  const BenchResult via_vco = measureBench(cfg, opt);
+  opt.probe = ProbeNode::LoopFilterVoltage;
+  const BenchResult via_filter = measureBench(cfg, opt);
+  for (size_t i = 0; i < via_vco.points.size(); ++i) {
+    EXPECT_NEAR(amplitudeToDb(via_filter.points[i].gain), amplitudeToDb(via_vco.points[i].gain),
+                1.5)
+        << via_vco.points[i].modulation_hz;
+  }
+}
+
+TEST(BenchMeasurement, InBandGainIsUnity) {
+  const pll::PllConfig cfg = fastTestConfig();
+  BenchOptions opt = fastBenchOptions(1);
+  opt.modulation_frequencies_hz = {20.0};  // fn/10
+  const BenchResult result = measureBench(cfg, opt);
+  EXPECT_NEAR(result.points[0].gain, 1.0, 0.05);
+  EXPECT_NEAR(result.points[0].phase_deg, 0.0, 8.0);
+}
+
+TEST(BenchMeasurement, ToBodeExportsAscendingResponse) {
+  const pll::PllConfig cfg = fastTestConfig();
+  const BenchResult result = measureBench(cfg, fastBenchOptions(5));
+  const control::BodeResponse bode = result.toBode();
+  EXPECT_EQ(bode.size(), 5u);
+  // roll-off present at the top of the sweep
+  EXPECT_LT(bode.points().back().magnitude_db, bode.points().front().magnitude_db - 3.0);
+}
+
+TEST(BenchMeasurement, FitResidualBounded) {
+  const pll::PllConfig cfg = fastTestConfig();
+  const BenchResult result = measureBench(cfg, fastBenchOptions(3));
+  const double full_scale = 100.0 * static_cast<double>(cfg.divider_n);
+  for (const BenchPoint& p : result.points) {
+    // Pump ripple keeps the residual nonzero; it must stay below full scale
+    // everywhere (sanity) and well below the fundamental where the signal
+    // is strong (the in-band point).
+    EXPECT_LT(p.fit_residual_rms, 2.0 * full_scale) << p.modulation_hz;  // resonance gain > 1
+  }
+  EXPECT_LT(result.points.front().fit_residual_rms,
+            0.5 * result.points.front().gain * full_scale);
+}
+
+TEST(BenchMeasurement, DetectsShiftedNaturalFrequencyFromFault) {
+  // The bench (like the BIST) must see a halved-C device as a wider loop.
+  pll::PllConfig faulty = fastTestConfig();
+  faulty.pump.c_farad *= 0.25;
+  BenchOptions opt = fastBenchOptions(6);
+  opt.modulation_frequencies_hz = control::logspace(40.0, 1200.0, 6);
+  const control::BodeResponse golden_bode = measureBench(fastTestConfig(), opt).toBode();
+  const control::BodeResponse faulty_bode = measureBench(faulty, opt).toBode();
+  // Faulty loop is 2x wider: at 600 Hz the golden response is well into
+  // roll-off while the faulty one is still near its peak.
+  const double w = hzToRadPerSec(600.0);
+  EXPECT_GT(faulty_bode.magnitudeDbAt(w), golden_bode.magnitudeDbAt(w) + 4.0);
+}
+
+}  // namespace
+}  // namespace pllbist::baseline

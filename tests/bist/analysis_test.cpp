@@ -1,0 +1,144 @@
+#include "bist/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "control/grid.hpp"
+#include "control/second_order.hpp"
+#include "control/transfer_function.hpp"
+
+namespace pllbist::bist {
+namespace {
+
+control::BodeResponse secondOrder(double fn_hz, double zeta) {
+  const double wn = hzToRadPerSec(fn_hz);
+  return control::BodeResponse::compute(control::TransferFunction::secondOrderLowPass(wn, zeta),
+                                        control::logspace(wn / 50.0, wn * 50.0, 300));
+}
+
+TEST(ExtractParameters, RecoversSecondOrderParameters) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.43));
+  ASSERT_TRUE(p.zeta.has_value());
+  ASSERT_TRUE(p.natural_frequency_hz.has_value());
+  ASSERT_TRUE(p.bandwidth_3db_hz.has_value());
+  EXPECT_NEAR(*p.zeta, 0.43, 0.01);
+  EXPECT_NEAR(*p.natural_frequency_hz, 8.0, 0.15);
+  EXPECT_NEAR(*p.bandwidth_3db_hz, radPerSecToHz(control::bandwidth3Db(hzToRadPerSec(8.0), 0.43)),
+              0.2);
+  // 2nd-order phase at omega_p: atan(2*zeta*x/(1-x^2)) with x = sqrt(1-2z^2)
+  // is -61.5 degrees for zeta = 0.43.
+  EXPECT_NEAR(p.phase_at_peak_deg, -61.5, 3.0);
+}
+
+TEST(ExtractParameters, OverdampedHasNoZetaEstimate) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.9));
+  EXPECT_FALSE(p.zeta.has_value());
+  EXPECT_LT(p.peaking_db, 0.1);
+  EXPECT_TRUE(p.bandwidth_3db_hz.has_value());
+}
+
+TEST(ExtractParameters, EmptyResponseThrows) {
+  control::BodeResponse empty;
+  EXPECT_THROW(extractParameters(empty), std::domain_error);
+}
+
+TEST(CheckLimits, PassesInsideAllLimits) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.43));
+  TestLimits limits;
+  limits.min_natural_frequency_hz = 6.0;
+  limits.max_natural_frequency_hz = 10.0;
+  limits.min_zeta = 0.3;
+  limits.max_zeta = 0.6;
+  limits.max_peaking_db = 4.0;
+  const TestVerdict v = checkLimits(p, limits);
+  EXPECT_TRUE(v.pass);
+  EXPECT_TRUE(v.failures.empty());
+}
+
+TEST(CheckLimits, FlagsOutOfRangeParameters) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.43));
+  TestLimits limits;
+  limits.min_natural_frequency_hz = 12.0;  // fn too low now
+  limits.max_zeta = 0.2;                   // zeta too high now
+  const TestVerdict v = checkLimits(p, limits);
+  EXPECT_FALSE(v.pass);
+  EXPECT_EQ(v.failures.size(), 2u);
+}
+
+TEST(CheckLimits, UnextractableParameterFailsItsLimit) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.9));  // no zeta
+  TestLimits limits;
+  limits.min_zeta = 0.3;
+  const TestVerdict v = checkLimits(p, limits);
+  EXPECT_FALSE(v.pass);
+  ASSERT_EQ(v.failures.size(), 1u);
+  EXPECT_NE(v.failures[0].find("not extractable"), std::string::npos);
+}
+
+TEST(CheckLimits, NoLimitsAlwaysPass) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.43));
+  EXPECT_TRUE(checkLimits(p, TestLimits{}).pass);
+}
+
+TEST(LimitsFromGolden, SymmetricBands) {
+  const ExtractedParameters golden = extractParameters(secondOrder(8.0, 0.43));
+  const TestLimits limits = limitsFromGolden(golden, 0.25);
+  ASSERT_TRUE(limits.min_natural_frequency_hz.has_value());
+  EXPECT_NEAR(*limits.min_natural_frequency_hz, *golden.natural_frequency_hz * 0.75, 1e-9);
+  EXPECT_NEAR(*limits.max_natural_frequency_hz, *golden.natural_frequency_hz * 1.25, 1e-9);
+  // Golden must pass its own limits.
+  EXPECT_TRUE(checkLimits(golden, limits).pass);
+}
+
+TEST(LimitsFromGolden, DetectsShiftedDevice) {
+  const ExtractedParameters golden = extractParameters(secondOrder(8.0, 0.43));
+  const TestLimits limits = limitsFromGolden(golden, 0.2);
+  // A device whose natural frequency halved (e.g. C doubled).
+  const ExtractedParameters shifted = extractParameters(secondOrder(4.0, 0.43));
+  EXPECT_FALSE(checkLimits(shifted, limits).pass);
+  // A device inside the band passes.
+  const ExtractedParameters close = extractParameters(secondOrder(8.5, 0.45));
+  EXPECT_TRUE(checkLimits(close, limits).pass);
+}
+
+
+TEST(ExtractParameters, PhaseBasedFnMatchesMagnitudeBasedFn) {
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.43));
+  ASSERT_TRUE(p.natural_frequency_from_phase_hz.has_value());
+  EXPECT_NEAR(*p.natural_frequency_from_phase_hz, 8.0, 0.1);
+  ASSERT_TRUE(p.natural_frequency_hz.has_value());
+  EXPECT_NEAR(*p.natural_frequency_from_phase_hz, *p.natural_frequency_hz, 0.3);
+}
+
+TEST(ExtractParameters, PhaseBasedFnAvailableWhenOverdamped) {
+  // No magnitude peak for zeta = 0.9, but the -90 degree crossing still
+  // marks wn exactly for a two-pole response.
+  const ExtractedParameters p = extractParameters(secondOrder(8.0, 0.9));
+  EXPECT_FALSE(p.natural_frequency_hz.has_value());
+  ASSERT_TRUE(p.natural_frequency_from_phase_hz.has_value());
+  EXPECT_NEAR(*p.natural_frequency_from_phase_hz, 8.0, 0.3);  // in-band phase-reference offset
+}
+
+TEST(ExtractParameters, PhaseBasedFnAbsentWhenNotCrossed) {
+  // Sample only well below wn: -90 never reached.
+  const double wn = hzToRadPerSec(100.0);
+  auto r = control::BodeResponse::compute(
+      control::TransferFunction::secondOrderLowPass(wn, 0.43),
+      control::logspace(wn / 100.0, wn / 10.0, 50));
+  EXPECT_FALSE(extractParameters(r).natural_frequency_from_phase_hz.has_value());
+}
+
+class ExtractionAccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExtractionAccuracySweep, ZetaRecoveredAcrossDampingRange) {
+  const double zeta = GetParam();
+  const ExtractedParameters p = extractParameters(secondOrder(10.0, zeta));
+  ASSERT_TRUE(p.zeta.has_value());
+  EXPECT_NEAR(*p.zeta, zeta, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zetas, ExtractionAccuracySweep,
+                         ::testing::Values(0.15, 0.25, 0.35, 0.43, 0.55, 0.65));
+
+}  // namespace
+}  // namespace pllbist::bist

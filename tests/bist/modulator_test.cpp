@@ -1,0 +1,165 @@
+#include "bist/modulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "dsp/resample.hpp"
+#include "sim/circuit.hpp"
+#include "sim/primitives.hpp"
+
+namespace pllbist::bist {
+namespace {
+
+struct ModBench {
+  sim::Circuit c;
+  sim::SignalId out;
+  sim::SignalId marker;
+  Dco dco;
+  ModBench()
+      : out(c.addSignal("out")),
+        marker(c.addSignal("marker")),
+        dco(c, out, Dco::Config{1e6, 1000, 0.0}) {}
+};
+
+FskModulator::Config modConfig(StimulusWaveform wf = StimulusWaveform::MultiToneFsk,
+                               int steps = 10) {
+  FskModulator::Config cfg;
+  cfg.waveform = wf;
+  cfg.steps = steps;
+  cfg.nominal_hz = 1000.0;
+  cfg.deviation_hz = 10.0;
+  return cfg;
+}
+
+TEST(FskModulatorConfig, Validation) {
+  FskModulator::Config cfg = modConfig();
+  cfg.steps = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = modConfig();
+  cfg.deviation_hz = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = modConfig();
+  cfg.deviation_hz = 2000.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FskModulator, MultiToneProgramIsSampledSine) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  for (int k = 0; k < 10; ++k) {
+    const double expected = 1000.0 + 10.0 * std::sin(kTwoPi * k / 10.0);
+    EXPECT_NEAR(mod.programFrequency(k), expected, 1e-9) << k;
+  }
+  // Symmetry: second half mirrors the first.
+  EXPECT_NEAR(mod.programFrequency(1) + mod.programFrequency(6), 2000.0, 1e-9);
+}
+
+TEST(FskModulator, TwoToneProgramIsSquare) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig(StimulusWaveform::TwoToneFsk));
+  for (int k = 0; k < 5; ++k) EXPECT_DOUBLE_EQ(mod.programFrequency(k), 1010.0);
+  for (int k = 5; k < 10; ++k) EXPECT_DOUBLE_EQ(mod.programFrequency(k), 990.0);
+}
+
+TEST(FskModulator, StartRequiresPositiveModulation) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  EXPECT_THROW(mod.start(0.0), std::invalid_argument);
+  EXPECT_FALSE(mod.running());
+}
+
+TEST(FskModulator, OutputSwingsAcrossProgramRange) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  mod.start(5.0);  // slot width 20 ms >> carrier period
+  sim::EdgeRecorder rec(b.c, b.out);
+  b.c.run(0.6);  // three modulation periods
+  auto freqs = dsp::frequencyFromEdges(rec.risingEdges());
+  double lo = 1e12, hi = 0.0;
+  for (const auto& f : freqs) {
+    lo = std::min(lo, f.value);
+    hi = std::max(hi, f.value);
+  }
+  // DCO-quantised: ~1 Hz steps at 1 kHz from a 1 MHz master.
+  EXPECT_NEAR(hi, 1010.0, 1.5);
+  EXPECT_NEAR(lo, 990.0, 1.5);
+}
+
+TEST(FskModulator, MarkerOncePerPeriodAtCrest) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  mod.start(10.0);
+  sim::EdgeRecorder rec(b.c, b.marker);
+  b.c.run(0.55);
+  const auto& rises = rec.risingEdges();
+  ASSERT_GE(rises.size(), 4u);
+  for (size_t i = 1; i < rises.size(); ++i)
+    EXPECT_NEAR(rises[i] - rises[i - 1], 0.1, 1e-6);
+  // Marker sits at quarter period plus half a slot (ZOH fundamental crest).
+  const double period = 0.1, slot = period / 10.0;
+  EXPECT_NEAR(rises[0], 0.25 * period + 0.5 * slot, 1e-9);
+}
+
+TEST(FskModulator, StopReturnsToNominalAndSilencesMarker) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  mod.start(10.0);
+  b.c.run(0.25);
+  mod.stop();
+  EXPECT_FALSE(mod.running());
+  sim::EdgeRecorder marker(b.c, b.marker);
+  sim::EdgeRecorder out(b.c, b.out);
+  b.c.run(0.5);
+  EXPECT_TRUE(marker.risingEdges().empty());
+  auto freqs = dsp::frequencyFromEdges(out.risingEdges());
+  ASSERT_FALSE(freqs.empty());
+  EXPECT_NEAR(freqs.back().value, 1000.0, 1.5);
+}
+
+TEST(FskModulator, ParkHoldsCrestFrequency) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  mod.park();
+  sim::EdgeRecorder out(b.c, b.out);
+  b.c.run(0.1);
+  auto freqs = dsp::frequencyFromEdges(out.risingEdges());
+  ASSERT_GE(freqs.size(), 10u);
+  for (size_t i = 3; i < freqs.size(); ++i) EXPECT_NEAR(freqs[i].value, 1010.0, 1.5);
+}
+
+TEST(FskModulator, RestartReplacesProgram) {
+  ModBench b;
+  FskModulator mod(b.c, b.dco, b.marker, modConfig());
+  mod.start(5.0);
+  b.c.run(0.12);
+  mod.start(50.0);  // retune mid-flight
+  sim::EdgeRecorder marker(b.c, b.marker);
+  b.c.run(0.12 + 0.1);
+  // markers at the new 20 ms period only
+  const auto& rises = marker.risingEdges();
+  ASSERT_GE(rises.size(), 3u);
+  for (size_t i = 1; i < rises.size(); ++i)
+    EXPECT_NEAR(rises[i] - rises[i - 1], 0.02, 1e-6);
+}
+
+TEST(FskModulator, StepCountControlsGranularity) {
+  ModBench b1, b2;
+  FskModulator coarse(b1.c, b1.dco, b1.marker, modConfig(StimulusWaveform::MultiToneFsk, 4));
+  FskModulator fine(b2.c, b2.dco, b2.marker, modConfig(StimulusWaveform::MultiToneFsk, 20));
+  // distinct program levels (ignoring duplicates)
+  auto levels = [](FskModulator& m, int steps) {
+    std::vector<double> v;
+    for (int k = 0; k < steps; ++k) v.push_back(m.programFrequency(k));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](double a, double b) { return std::abs(a - b) < 1e-9; }),
+            v.end());
+    return v.size();
+  };
+  EXPECT_LT(levels(coarse, 4), levels(fine, 20));
+}
+
+}  // namespace
+}  // namespace pllbist::bist

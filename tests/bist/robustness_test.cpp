@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bist/controller.hpp"
+#include "bist/peak_detector.hpp"
+#include "bist/sequencer.hpp"
+#include "common/units.hpp"
+#include "pll/cppll.hpp"
+#include "pll/sources.hpp"
+#include "support/test_configs.hpp"
+
+namespace pllbist::bist {
+namespace {
+
+using pllbist::testing::fastSweepOptions;
+using pllbist::testing::fastTestConfig;
+
+/// Determinism: the whole simulated measurement is reproducible bit-for-bit
+/// across runs (a hard requirement for debugging and CI).
+TEST(Robustness, SweepIsDeterministic) {
+  auto run = [] {
+    BistController controller(fastTestConfig(),
+                              fastSweepOptions(StimulusKind::MultiToneFsk, 5));
+    return controller.run();
+  };
+  const MeasuredResponse a = run();
+  const MeasuredResponse b = run();
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].deviation_hz, b.points[i].deviation_hz) << i;
+    EXPECT_EQ(a.points[i].phase_deg, b.points[i].phase_deg) << i;
+  }
+  EXPECT_EQ(a.nominal_vco_hz, b.nominal_vco_hz);
+}
+
+/// The sequencer measuring a PLL whose reference carries realistic edge
+/// jitter (0.2% of the period RMS): the averaged phase measurement must
+/// stay close to the clean value.
+TEST(Robustness, PointMeasurementSurvivesReferenceJitter) {
+  const pll::PllConfig cfg = fastTestConfig();
+
+  auto measureWithJitter = [&](double jitter_rms) {
+    sim::Circuit c;
+    const auto ext = c.addSignal("ext");
+    const auto stim = c.addSignal("stim");
+    const auto marker = c.addSignal("marker");
+    pll::SineFmSource::Config scfg;
+    scfg.nominal_hz = cfg.ref_frequency_hz;
+    scfg.edge_jitter_rms_s = jitter_rms;
+    pll::SineFmSource src(c, stim, marker, scfg);
+    pll::CpPll pll(c, ext, stim, cfg);
+    pll.setTestMode(true);
+    PeakDetector det(c, pll.ref(), pll.feedback(), cfg.pfd, PeakDetectorDelays{});
+    TestSequencer::Options opt;
+    opt.freq_gate_s = 0.05;
+    opt.hold_to_gate_delay_s = 2e-4;
+    opt.average_periods = 8;  // jitter averages out over more periods
+    TestSequencer seq(c, pll,
+                      StimulusHooks{[&](double fm) { src.setModulation(fm, 100.0); },
+                                    [&] { src.setModulation(0.0, 0.0); },
+                                    [&] {
+                                      src.setModulation(0.0, 0.0);
+                                      src.setCarrier(cfg.ref_frequency_hz + 100.0);
+                                    }},
+                      det, marker, pll.vcoOut(), 10e6, opt);
+    c.run(0.05);
+    bool done = false;
+    TestSequencer::PointResult r;
+    seq.measurePoint(200.0, [&](TestSequencer::PointResult pr) {
+      r = std::move(pr);
+      done = true;
+    });
+    while (!done) {
+      if (!c.step()) ADD_FAILURE() << "queue ran dry";
+    }
+    return r;
+  };
+
+  const TestSequencer::PointResult clean = measureWithJitter(0.0);
+  const TestSequencer::PointResult jittered = measureWithJitter(2e-7);  // 0.2% of Tref
+  ASSERT_FALSE(clean.timed_out);
+  ASSERT_FALSE(jittered.timed_out);
+  EXPECT_NEAR(jittered.phase_deg, clean.phase_deg, 15.0);
+  EXPECT_NEAR(jittered.held_frequency_hz, clean.held_frequency_hz,
+              0.1 * (clean.held_frequency_hz - cfg.nominalVcoHz()));
+}
+
+/// The deviation must never push the VCO into its tuning-range clamp during
+/// a sweep — and if a misconfigured (too-large) stimulus does, the
+/// measurement degrades but the BIST still terminates.
+TEST(Robustness, OversizedStimulusTerminates) {
+  const pll::PllConfig cfg = fastTestConfig();
+  SweepOptions opt = fastSweepOptions(StimulusKind::MultiToneFsk, 3);
+  opt.deviation_hz = 800.0;  // 8% of the reference: phase errors near the PFD limit
+  BistController controller(cfg, opt);
+  const MeasuredResponse r = controller.run();  // must not hang or throw
+  EXPECT_EQ(r.points.size(), 3u);
+}
+
+/// Cross-check the two fast devices: voltage-pump and current-pump DUTs
+/// designed for the same (fn, zeta) must produce overlapping responses.
+TEST(Robustness, PumpTopologiesAgreeOnTheResponse) {
+  const SweepOptions vopt = fastSweepOptions(StimulusKind::MultiToneFsk, 6);
+  BistController vcontroller(pll::scaledTestConfig(200.0, 0.43), vopt);
+  BistController ccontroller(pll::scaledCurrentPumpConfig(200.0, 0.43), vopt);
+  const control::BodeResponse v = vcontroller.run().toBode();
+  const control::BodeResponse i = ccontroller.run().toBode();
+  ASSERT_EQ(v.size(), i.size());
+  for (size_t k = 0; k < v.size(); ++k) {
+    const double f = radPerSecToHz(v.points()[k].omega_rad_per_s);
+    if (f > 700.0) continue;
+    EXPECT_NEAR(v.points()[k].magnitude_db, i.points()[k].magnitude_db, 1.5) << f;
+    EXPECT_NEAR(v.points()[k].phase_deg, i.points()[k].phase_deg, 15.0) << f;
+  }
+}
+
+}  // namespace
+}  // namespace pllbist::bist

@@ -1,0 +1,50 @@
+#include "control/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pllbist::control {
+namespace {
+
+TEST(Linspace, EndpointsExact) {
+  auto v = linspace(1.0, 2.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 2.0);
+  EXPECT_NEAR(v[5], 1.5, 1e-12);
+}
+
+TEST(Linspace, SinglePoint) {
+  auto v = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(Linspace, DescendingWorks) {
+  auto v = linspace(2.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(v[1], 1.5);
+}
+
+TEST(Linspace, RejectsZeroPoints) { EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument); }
+
+TEST(Logspace, EndpointsExactAndGeometric) {
+  auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(v[2], 100.0);
+}
+
+TEST(Logspace, StrictlyAscending) {
+  auto v = logspace(0.5, 48.0, 25);
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+}
+
+TEST(Logspace, RejectsNonPositiveBounds) {
+  EXPECT_THROW(logspace(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, -1.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pllbist::control

@@ -1,0 +1,98 @@
+#include "control/margins.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "control/cppll_model.hpp"
+#include "pll/config.hpp"
+
+namespace pllbist::control {
+namespace {
+
+TEST(Margins, Validation) {
+  const TransferFunction l = TransferFunction::integrator(10.0);
+  EXPECT_THROW(computeMargins(l, -1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(computeMargins(l, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(computeMargins(l, 1.0, 10.0, 2), std::invalid_argument);
+}
+
+TEST(Margins, PureIntegratorHas90DegreePhaseMargin) {
+  // L = k/s: crossover at w = k, phase -90 everywhere -> PM = 90 deg, no
+  // -180 crossing.
+  const TransferFunction l = TransferFunction::integrator(50.0);
+  const LoopMargins m = computeMargins(l, 0.1, 1e4);
+  ASSERT_TRUE(m.gain_crossover_rad_per_s.has_value());
+  EXPECT_NEAR(*m.gain_crossover_rad_per_s, 50.0, 0.1);
+  ASSERT_TRUE(m.phase_margin_deg.has_value());
+  EXPECT_NEAR(*m.phase_margin_deg, 90.0, 0.5);
+  EXPECT_FALSE(m.phase_crossover_rad_per_s.has_value());
+}
+
+TEST(Margins, DoubleIntegratorWithZero) {
+  // L = k*(1 + s/wz)/s^2: classic type-2 loop. Textbook: at crossover wc,
+  // PM = atan(wc/wz); choose k so wc sits at 10*wz -> PM ~ 84.3 deg.
+  const double wz = 10.0;
+  TransferFunction l(Polynomial({1.0, 1.0 / wz}), Polynomial({0.0, 0.0, 1.0}));
+  // |L(j*100)| = sqrt(1+100)/1e4 * k = 1 -> k ~ 994.99
+  const double k = 1e4 / std::sqrt(101.0);
+  const LoopMargins m = computeMargins(l * k, 0.1, 1e5);
+  ASSERT_TRUE(m.gain_crossover_rad_per_s.has_value());
+  EXPECT_NEAR(*m.gain_crossover_rad_per_s, 100.0, 1.0);
+  ASSERT_TRUE(m.phase_margin_deg.has_value());
+  EXPECT_NEAR(*m.phase_margin_deg, radToDeg(std::atan(10.0)), 1.0);
+}
+
+TEST(Margins, ThirdOrderLoopHasFiniteGainMargin) {
+  // L = k/(s (1+s)^2): phase hits -180 at w = 1 where |L| = k/2.
+  for (double k : {0.5, 1.9}) {
+    TransferFunction l(Polynomial::constant(k),
+                       Polynomial({0.0, 1.0, 2.0, 1.0}));  // s(1+s)^2
+    const LoopMargins m = computeMargins(l, 1e-3, 1e3);
+    ASSERT_TRUE(m.phase_crossover_rad_per_s.has_value()) << k;
+    EXPECT_NEAR(*m.phase_crossover_rad_per_s, 1.0, 0.02);
+    ASSERT_TRUE(m.gain_margin_db.has_value());
+    EXPECT_NEAR(*m.gain_margin_db, -amplitudeToDb(k / 2.0), 0.2) << k;
+    // Closed-loop stability agrees with the margin sign.
+    EXPECT_EQ(l.unityFeedback().isStable(), *m.gain_margin_db > 0.0) << k;
+  }
+}
+
+TEST(Margins, ReferencePllLoopIsComfortablyStable) {
+  // Open loop of the paper's device, broken at the phase comparator with
+  // the divider folded in: L = Kpd*F(s)*Ko/(N*s).
+  const pll::PllConfig cfg = pll::referenceConfig();
+  const LoopParameters lp = cfg.linearized();
+  const TransferFunction l = openLoopTf(lp) * (1.0 / lp.divider_n);
+  const LoopMargins m = computeMargins(l, hzToRadPerSec(0.01), hzToRadPerSec(1e3));
+  ASSERT_TRUE(m.phase_margin_deg.has_value());
+  // zeta = 0.43 second-order-ish loop: PM ~ 2*atan-ish ~ 45 deg.
+  EXPECT_GT(*m.phase_margin_deg, 35.0);
+  EXPECT_LT(*m.phase_margin_deg, 60.0);
+  // Two-pole-plus-zero loop never reaches -180: infinite gain margin.
+  EXPECT_FALSE(m.gain_margin_db.has_value());
+}
+
+TEST(Margins, PhaseMarginTracksDamping) {
+  // Higher designed zeta must show a larger phase margin.
+  auto pm = [](double zeta) {
+    const pll::PllConfig cfg = pll::scaledTestConfig(200.0, zeta);
+    const LoopParameters lp = cfg.linearized();
+    const TransferFunction l = openLoopTf(lp) * (1.0 / lp.divider_n);
+    return *computeMargins(l, 1.0, 1e6).phase_margin_deg;
+  };
+  EXPECT_LT(pm(0.35), pm(0.55));
+  EXPECT_LT(pm(0.55), pm(0.8));
+}
+
+TEST(Margins, NoCrossoverWhenGainTooLow) {
+  // |L| < 1 everywhere scanned: no gain crossover to report.
+  const TransferFunction l = TransferFunction::firstOrderLowPass(0.5, 1.0);
+  const LoopMargins m = computeMargins(l, 0.01, 100.0);
+  EXPECT_FALSE(m.gain_crossover_rad_per_s.has_value());
+  EXPECT_FALSE(m.phase_margin_deg.has_value());
+}
+
+}  // namespace
+}  // namespace pllbist::control

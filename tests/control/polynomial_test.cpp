@@ -1,0 +1,175 @@
+#include "control/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pllbist::control {
+namespace {
+
+TEST(Polynomial, DefaultIsZero) {
+  Polynomial p;
+  EXPECT_TRUE(p.isZero());
+  EXPECT_EQ(p.degree(), -1);
+  EXPECT_EQ(p.evaluate(3.0), 0.0);
+}
+
+TEST(Polynomial, TrailingZerosTrimmed) {
+  Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_EQ(p.coeff(1), 2.0);
+}
+
+TEST(Polynomial, AllZeroCoefficientsIsZeroPolynomial) {
+  Polynomial p({0.0, 0.0});
+  EXPECT_TRUE(p.isZero());
+}
+
+TEST(Polynomial, ConstantAndMonomial) {
+  EXPECT_EQ(Polynomial::constant(4.0).degree(), 0);
+  const Polynomial m = Polynomial::monomial(3.0, 2);
+  EXPECT_EQ(m.degree(), 2);
+  EXPECT_EQ(m.evaluate(2.0), 12.0);
+  EXPECT_THROW(Polynomial::monomial(1.0, -1), std::invalid_argument);
+}
+
+TEST(Polynomial, CoeffOutOfRangeIsZero) {
+  Polynomial p({1.0, 2.0});
+  EXPECT_EQ(p.coeff(5), 0.0);
+  EXPECT_EQ(p.coeff(-1), 0.0);
+}
+
+TEST(Polynomial, EvaluateHorner) {
+  // p(s) = 1 + 2s + 3s^2 at s = 2 => 1 + 4 + 12 = 17
+  Polynomial p({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.evaluate(2.0), 17.0);
+  const auto v = p.evaluate(std::complex<double>{0.0, 1.0});  // 1 + 2j - 3
+  EXPECT_DOUBLE_EQ(v.real(), -2.0);
+  EXPECT_DOUBLE_EQ(v.imag(), 2.0);
+}
+
+TEST(Polynomial, Addition) {
+  Polynomial a({1.0, 2.0});
+  Polynomial b({3.0, 0.0, 5.0});
+  Polynomial c = a + b;
+  EXPECT_EQ(c.degree(), 2);
+  EXPECT_EQ(c.coeff(0), 4.0);
+  EXPECT_EQ(c.coeff(1), 2.0);
+  EXPECT_EQ(c.coeff(2), 5.0);
+}
+
+TEST(Polynomial, SubtractionCancellationTrims) {
+  Polynomial a({1.0, 2.0, 3.0});
+  Polynomial b({0.0, 0.0, 3.0});
+  EXPECT_EQ((a - b).degree(), 1);
+}
+
+TEST(Polynomial, Multiplication) {
+  // (1 + s)(1 - s) = 1 - s^2
+  Polynomial c = Polynomial({1.0, 1.0}) * Polynomial({1.0, -1.0});
+  EXPECT_EQ(c.degree(), 2);
+  EXPECT_EQ(c.coeff(0), 1.0);
+  EXPECT_EQ(c.coeff(1), 0.0);
+  EXPECT_EQ(c.coeff(2), -1.0);
+}
+
+TEST(Polynomial, MultiplyByZeroPolynomial) {
+  Polynomial a({1.0, 2.0});
+  EXPECT_TRUE((a * Polynomial{}).isZero());
+}
+
+TEST(Polynomial, ScalarMultiply) {
+  Polynomial p = Polynomial({1.0, 2.0}) * 3.0;
+  EXPECT_EQ(p.coeff(0), 3.0);
+  EXPECT_EQ(p.coeff(1), 6.0);
+}
+
+TEST(Polynomial, FromRoots) {
+  // (s-1)(s-2) = s^2 - 3s + 2
+  Polynomial p = Polynomial::fromRoots({1.0, 2.0});
+  EXPECT_EQ(p.coeff(0), 2.0);
+  EXPECT_EQ(p.coeff(1), -3.0);
+  EXPECT_EQ(p.coeff(2), 1.0);
+}
+
+TEST(Polynomial, Derivative) {
+  // d/ds (1 + 2s + 3s^2) = 2 + 6s
+  Polynomial d = Polynomial({1.0, 2.0, 3.0}).derivative();
+  EXPECT_EQ(d.degree(), 1);
+  EXPECT_EQ(d.coeff(0), 2.0);
+  EXPECT_EQ(d.coeff(1), 6.0);
+  EXPECT_TRUE(Polynomial::constant(5.0).derivative().isZero());
+}
+
+TEST(Polynomial, MonicNormalises) {
+  Polynomial m = Polynomial({2.0, 4.0}).monic();
+  EXPECT_DOUBLE_EQ(m.coeff(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0), 0.5);
+  EXPECT_THROW(Polynomial{}.monic(), std::domain_error);
+}
+
+TEST(PolynomialRoots, Linear) {
+  auto roots = Polynomial({-6.0, 2.0}).roots();  // 2s - 6 = 0
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0].real(), 3.0, 1e-12);
+}
+
+TEST(PolynomialRoots, QuadraticRealRoots) {
+  auto roots = Polynomial({2.0, -3.0, 1.0}).roots();  // (s-1)(s-2)
+  ASSERT_EQ(roots.size(), 2u);
+  double lo = std::min(roots[0].real(), roots[1].real());
+  double hi = std::max(roots[0].real(), roots[1].real());
+  EXPECT_NEAR(lo, 1.0, 1e-12);
+  EXPECT_NEAR(hi, 2.0, 1e-12);
+}
+
+TEST(PolynomialRoots, QuadraticComplexConjugates) {
+  auto roots = Polynomial({5.0, 2.0, 1.0}).roots();  // s^2+2s+5: -1 +/- 2j
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0].real(), -1.0, 1e-12);
+  EXPECT_NEAR(std::abs(roots[0].imag()), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(roots[0].real(), roots[1].real());
+  EXPECT_DOUBLE_EQ(roots[0].imag(), -roots[1].imag());
+}
+
+TEST(PolynomialRoots, CubicKnownRoots) {
+  // (s+1)(s+2)(s+3) = s^3 + 6s^2 + 11s + 6
+  auto roots = Polynomial({6.0, 11.0, 6.0, 1.0}).roots();
+  ASSERT_EQ(roots.size(), 3u);
+  double sum = 0.0;
+  for (auto r : roots) {
+    sum += r.real();
+    EXPECT_NEAR(r.imag(), 0.0, 1e-8);
+  }
+  EXPECT_NEAR(sum, -6.0, 1e-8);
+  // every root satisfies the polynomial
+  Polynomial p({6.0, 11.0, 6.0, 1.0});
+  for (auto r : roots) EXPECT_NEAR(std::abs(p.evaluate(r)), 0.0, 1e-7);
+}
+
+TEST(PolynomialRoots, ZeroPolynomialThrows) {
+  EXPECT_THROW(Polynomial{}.roots(), std::domain_error);
+}
+
+TEST(PolynomialRoots, ConstantHasNoRoots) {
+  EXPECT_TRUE(Polynomial::constant(2.0).roots().empty());
+}
+
+class RootsResidualSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootsResidualSweep, AllRootsSatisfyPolynomial) {
+  // Wilkinson-lite: product of (s - k) for k = 1..n.
+  const int n = GetParam();
+  std::vector<double> rs;
+  for (int k = 1; k <= n; ++k) rs.push_back(static_cast<double>(k));
+  Polynomial p = Polynomial::fromRoots(rs);
+  auto roots = p.roots();
+  ASSERT_EQ(static_cast<int>(roots.size()), n);
+  const double scale = std::abs(p.evaluate(0.0));
+  for (auto r : roots) EXPECT_LT(std::abs(p.evaluate(r)), 1e-6 * scale) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RootsResidualSweep, ::testing::Values(3, 4, 5, 6));
+
+}  // namespace
+}  // namespace pllbist::control

@@ -1,0 +1,97 @@
+#include "control/second_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "control/transfer_function.hpp"
+
+namespace pllbist::control {
+namespace {
+
+TEST(SecondOrder, PeakFrequencyKnownValue) {
+  // zeta = 0.5: wp = wn*sqrt(1 - 0.5) = wn/sqrt(2)
+  EXPECT_NEAR(peakFrequency(10.0, 0.5), 10.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(SecondOrder, PeakFrequencyDomain) {
+  EXPECT_THROW(peakFrequency(10.0, 0.8), std::domain_error);  // no peaking
+  EXPECT_THROW(peakFrequency(10.0, 0.0), std::domain_error);
+  EXPECT_THROW(peakFrequency(-1.0, 0.3), std::domain_error);
+}
+
+TEST(SecondOrder, PeakingDbKnownValue) {
+  // zeta = 0.5: Mp = 1/(2*0.5*sqrt(0.75)) = 1.1547 -> 1.2494 dB
+  EXPECT_NEAR(peakingDb(0.5), amplitudeToDb(2.0 / std::sqrt(3.0)), 1e-9);
+}
+
+TEST(SecondOrder, DampingFromPeakingRoundTrip) {
+  for (double zeta : {0.1, 0.2, 0.3, 0.43, 0.5, 0.6, 0.65}) {
+    EXPECT_NEAR(dampingFromPeakingDb(peakingDb(zeta)), zeta, 1e-9) << "zeta=" << zeta;
+  }
+}
+
+TEST(SecondOrder, DampingFromPeakingDomain) {
+  EXPECT_THROW(dampingFromPeakingDb(0.0), std::domain_error);
+  EXPECT_THROW(dampingFromPeakingDb(-3.0), std::domain_error);
+}
+
+TEST(SecondOrder, Bandwidth3DbMatchesTransferFunction) {
+  const double wn = 33.0;
+  for (double zeta : {0.2, 0.43, 0.7, 1.0}) {
+    const double w3 = bandwidth3Db(wn, zeta);
+    TransferFunction h = TransferFunction::secondOrderLowPass(wn, zeta);
+    EXPECT_NEAR(h.magnitudeDbAt(w3), -3.0103, 1e-6) << "zeta=" << zeta;
+  }
+}
+
+TEST(SecondOrder, BandwidthPeakRatioRoundTrip) {
+  for (double zeta : {0.15, 0.3, 0.43, 0.55}) {
+    const double ratio = bandwidth3Db(1.0, zeta) / peakFrequency(1.0, zeta);
+    EXPECT_NEAR(dampingFromBandwidthPeakRatio(ratio), zeta, 1e-9) << "zeta=" << zeta;
+  }
+}
+
+TEST(SecondOrder, BandwidthPeakRatioDomain) {
+  EXPECT_THROW(dampingFromBandwidthPeakRatio(1.0), std::domain_error);
+  EXPECT_THROW(dampingFromBandwidthPeakRatio(0.5), std::domain_error);
+}
+
+TEST(SecondOrder, NaturalFrequencyFromPeakRoundTrip) {
+  const double wn = 77.0;
+  for (double zeta : {0.1, 0.3, 0.43, 0.6}) {
+    EXPECT_NEAR(naturalFrequencyFromPeak(peakFrequency(wn, zeta), zeta), wn, 1e-9);
+  }
+}
+
+TEST(SecondOrder, SettlingTime) {
+  EXPECT_NEAR(settlingTime2Pct(10.0, 0.5), 0.8, 1e-12);
+  EXPECT_THROW(settlingTime2Pct(0.0, 0.5), std::domain_error);
+}
+
+TEST(SecondOrder, OvershootKnownValues) {
+  EXPECT_NEAR(stepOvershootFraction(0.0), 1.0, 1e-12);
+  // zeta = 0.43 -> ~22.4% overshoot
+  EXPECT_NEAR(stepOvershootFraction(0.43), std::exp(-kPi * 0.43 / std::sqrt(1.0 - 0.43 * 0.43)),
+              1e-12);
+  EXPECT_THROW(stepOvershootFraction(1.0), std::domain_error);
+  EXPECT_THROW(stepOvershootFraction(-0.1), std::domain_error);
+}
+
+class MonotonicitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotonicitySweep, PeakingDecreasesWithDamping) {
+  const double zeta = GetParam();
+  EXPECT_GT(peakingDb(zeta), peakingDb(zeta + 0.05));
+}
+
+TEST_P(MonotonicitySweep, BandwidthDecreasesWithDamping) {
+  const double zeta = GetParam();
+  EXPECT_GT(bandwidth3Db(10.0, zeta), bandwidth3Db(10.0, zeta + 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Zetas, MonotonicitySweep, ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6));
+
+}  // namespace
+}  // namespace pllbist::control

@@ -1,0 +1,114 @@
+#include "control/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "control/second_order.hpp"
+
+namespace pllbist::control {
+namespace {
+
+TEST(ToStateSpace, RejectsImproper) {
+  TransferFunction improper(Polynomial({0.0, 0.0, 1.0}), Polynomial({1.0, 1.0}));
+  EXPECT_THROW(toStateSpace(improper), std::invalid_argument);
+}
+
+TEST(ToStateSpace, PureGainIsOrderZero) {
+  const StateSpace ss = toStateSpace(TransferFunction::gain(3.5));
+  EXPECT_EQ(ss.order(), 0);
+  EXPECT_DOUBLE_EQ(ss.d, 3.5);
+}
+
+TEST(ToStateSpace, FirstOrderCanonical) {
+  // H = 2/(1 + 0.5 s) = 4/(s + 2): A = -2, B = 1, C = 4, D = 0.
+  const StateSpace ss = toStateSpace(TransferFunction::firstOrderLowPass(2.0, 0.5));
+  ASSERT_EQ(ss.order(), 1);
+  EXPECT_NEAR(ss.a[0], -2.0, 1e-12);
+  EXPECT_NEAR(ss.b[0], 1.0, 1e-12);
+  EXPECT_NEAR(ss.c[0], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ss.d, 0.0);
+}
+
+TEST(ToStateSpace, BiproperFeedthrough) {
+  // H = (s+2)/(s+1): D = 1, C = 1.
+  TransferFunction h(Polynomial({2.0, 1.0}), Polynomial({1.0, 1.0}));
+  const StateSpace ss = toStateSpace(h);
+  EXPECT_DOUBLE_EQ(ss.d, 1.0);
+  EXPECT_NEAR(ss.c[0], 1.0, 1e-12);
+}
+
+TEST(StepResponse, FirstOrderMatchesClosedForm) {
+  const double tau = 0.25;
+  auto r = stepResponse(TransferFunction::firstOrderLowPass(1.0, tau), 2.0, 500);
+  for (const TimePoint& p : r) {
+    const double expected = 1.0 - std::exp(-p.time_s / tau);
+    EXPECT_NEAR(p.value, expected, 1e-6) << p.time_s;
+  }
+}
+
+TEST(StepResponse, SecondOrderOvershootMatchesClosedForm) {
+  for (double zeta : {0.2, 0.43, 0.6, 0.8}) {
+    const double wn = 10.0;
+    auto r = stepResponse(TransferFunction::secondOrderLowPass(wn, zeta), 8.0 / (zeta * wn), 3000);
+    const StepInfo info = analyzeStep(r);
+    EXPECT_NEAR(info.final_value, 1.0, 2e-3) << zeta;  // finite window residual
+    EXPECT_NEAR(info.overshoot_fraction, stepOvershootFraction(zeta), 0.01) << zeta;
+    // Peak at t = pi / (wn * sqrt(1 - zeta^2)).
+    EXPECT_NEAR(info.peak_time_s, kPi / (wn * std::sqrt(1.0 - zeta * zeta)), 0.05) << zeta;
+  }
+}
+
+TEST(StepResponse, SettlingTimeNearApproximation) {
+  const double wn = 10.0, zeta = 0.43;
+  auto r = stepResponse(TransferFunction::secondOrderLowPass(wn, zeta), 4.0, 4000);
+  const StepInfo info = analyzeStep(r);
+  // 4/(zeta*wn) approximation is within ~40% of the exact settling time.
+  EXPECT_NEAR(info.settling_time_s, settlingTime2Pct(wn, zeta), 0.4 * settlingTime2Pct(wn, zeta));
+}
+
+TEST(StepResponse, ZeroAddsOvershoot) {
+  // The CP-PLL closed loop (with zero) overshoots more than the pure
+  // two-pole with the same denominator.
+  const double wn = 10.0, zeta = 0.43;
+  TransferFunction plain = TransferFunction::secondOrderLowPass(wn, zeta);
+  // H = (2*zeta*wn*s + wn^2)/(s^2 + 2*zeta*wn*s + wn^2) — high-gain CP-PLL shape.
+  TransferFunction with_zero(Polynomial({wn * wn, 2.0 * zeta * wn}),
+                             Polynomial({wn * wn, 2.0 * zeta * wn, 1.0}));
+  const StepInfo a = analyzeStep(stepResponse(plain, 3.0, 2000));
+  const StepInfo b = analyzeStep(stepResponse(with_zero, 3.0, 2000));
+  EXPECT_GT(b.overshoot_fraction, a.overshoot_fraction + 0.05);
+}
+
+TEST(Simulate, SinusoidSteadyStateMatchesFrequencyResponse) {
+  // Drive a first-order low-pass with a sine; the late-time output must
+  // match |H| and arg H at that frequency.
+  const double tau = 0.1;
+  TransferFunction h = TransferFunction::firstOrderLowPass(1.0, tau);
+  const double w = 10.0;  // rad/s, at the corner
+  const double dt = 1e-3;
+  std::vector<double> u(8000);
+  for (size_t i = 0; i < u.size(); ++i) u[i] = std::sin(w * dt * static_cast<double>(i));
+  auto r = simulate(toStateSpace(h), u, dt);
+  // Compare the last full cycle peak to |H|.
+  double peak = 0.0;
+  for (size_t i = r.size() - 700; i < r.size(); ++i) peak = std::max(peak, std::abs(r[i].value));
+  EXPECT_NEAR(peak, std::abs(h.atFrequency(w)), 0.01);
+}
+
+TEST(Simulate, InputValidation) {
+  const StateSpace ss = toStateSpace(TransferFunction::gain(1.0));
+  EXPECT_THROW(simulate(ss, {}, 0.1), std::invalid_argument);
+  EXPECT_THROW(simulate(ss, {1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(stepResponse(TransferFunction::gain(1.0), -1.0), std::invalid_argument);
+}
+
+TEST(AnalyzeStep, Validation) {
+  EXPECT_THROW(analyzeStep({}), std::invalid_argument);
+  std::vector<TimePoint> flat{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  EXPECT_THROW(analyzeStep(flat), std::domain_error);
+}
+
+}  // namespace
+}  // namespace pllbist::control

@@ -1,0 +1,121 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "common/units.hpp"
+
+namespace pllbist::dsp {
+namespace {
+
+TEST(NextPowerOfTwo, Values) {
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fftInPlace(data), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fftInPlace(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcSignalConcentratesInBinZero) {
+  std::vector<std::complex<double>> data(16, {2.0, 0.0});
+  fftInPlace(data);
+  EXPECT_NEAR(data[0].real(), 32.0, 1e-9);
+  for (size_t k = 1; k < data.size(); ++k) EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9);
+}
+
+TEST(Fft, SingleToneLandsOnBin) {
+  const size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (size_t i = 0; i < n; ++i)
+    data[i] = {std::cos(kTwoPi * 5.0 * static_cast<double>(i) / n), 0.0};
+  fftInPlace(data);
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[4]), 0.0, 1e-9);
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const size_t n = 32;
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+
+  std::vector<std::complex<double>> naive(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (size_t i = 0; i < n; ++i)
+      acc += x[i] * std::polar(1.0, -kTwoPi * static_cast<double>(k * i) / n);
+    naive[k] = acc;
+  }
+  fftInPlace(x);
+  for (size_t k = 0; k < n; ++k) EXPECT_NEAR(std::abs(x[k] - naive[k]), 0.0, 1e-9) << "k=" << k;
+}
+
+TEST(Fft, RoundTripInverse) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> x(128);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+  auto original = x;
+  fftInPlace(x);
+  fftInPlace(x, /*inverse=*/true);
+  for (size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(x[i] - original[i]), 0.0, 1e-10);
+}
+
+TEST(FftReal, ZeroPadsToPowerOfTwo) {
+  std::vector<double> signal(100, 1.0);
+  auto spec = fftReal(signal);
+  EXPECT_EQ(spec.size(), 128u);
+}
+
+TEST(AmplitudeSpectrum, RecoversToneAmplitude) {
+  // 3.0 * sin at exactly bin 8 of a 256-point record.
+  const size_t n = 256;
+  const double fs = 1000.0;
+  const double f = 8.0 * fs / static_cast<double>(n);
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i)
+    signal[i] = 3.0 * std::sin(kTwoPi * f * static_cast<double>(i) / fs);
+  auto spec = amplitudeSpectrum(signal, fs);
+  size_t best = 0;
+  for (size_t k = 1; k < spec.size(); ++k)
+    if (spec[k].amplitude > spec[best].amplitude) best = k;
+  EXPECT_NEAR(spec[best].frequency_hz, f, 1e-9);
+  EXPECT_NEAR(spec[best].amplitude, 3.0, 1e-9);
+}
+
+TEST(AmplitudeSpectrum, DcLevel) {
+  std::vector<double> signal(64, 2.5);
+  auto spec = amplitudeSpectrum(signal, 100.0);
+  EXPECT_NEAR(spec[0].amplitude, 2.5, 1e-9);
+}
+
+TEST(AmplitudeSpectrum, RejectsBadRate) {
+  EXPECT_THROW(amplitudeSpectrum({1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+TEST(AmplitudeSpectrum, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(amplitudeSpectrum({}, 100.0).empty());
+}
+
+}  // namespace
+}  // namespace pllbist::dsp

@@ -1,0 +1,54 @@
+#include "dsp/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pllbist::dsp {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Statistics, Mean) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Statistics, Variance) { EXPECT_DOUBLE_EQ(variance(kSample), 4.0); }
+
+TEST(Statistics, StandardDeviation) { EXPECT_DOUBLE_EQ(standardDeviation(kSample), 2.0); }
+
+TEST(Statistics, Rms) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms({-2.0, 2.0}), 2.0);
+}
+
+TEST(Statistics, MinMaxPeakToPeak) {
+  EXPECT_DOUBLE_EQ(minValue(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(maxValue(kSample), 9.0);
+  EXPECT_DOUBLE_EQ(peakToPeak(kSample), 7.0);
+}
+
+TEST(Statistics, ArgMaxArgMin) {
+  std::vector<double> v{1.0, 5.0, 3.0, 5.0, 0.0};
+  EXPECT_EQ(argMax(v), 1u);  // first occurrence
+  EXPECT_EQ(argMin(v), 4u);
+}
+
+TEST(Statistics, SingleElement) {
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(mean(one), 7.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(peakToPeak(one), 0.0);
+}
+
+TEST(Statistics, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(variance(empty), std::invalid_argument);
+  EXPECT_THROW(rms(empty), std::invalid_argument);
+  EXPECT_THROW(minValue(empty), std::invalid_argument);
+  EXPECT_THROW(maxValue(empty), std::invalid_argument);
+  EXPECT_THROW(argMax(empty), std::invalid_argument);
+  EXPECT_THROW(argMin(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pllbist::dsp

@@ -1,0 +1,73 @@
+#include "dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pllbist::dsp {
+namespace {
+
+TEST(Window, RectangularAllOnes) {
+  auto w = rectangularWindow(8);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(coherentGain(w), 1.0);
+}
+
+TEST(Window, HannEndpointsZeroCenterOne) {
+  auto w = hannWindow(9);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[4], 1.0, 1e-12);
+}
+
+TEST(Window, HannCoherentGainNearHalf) {
+  EXPECT_NEAR(coherentGain(hannWindow(1024)), 0.5, 1e-3);
+}
+
+TEST(Window, HammingEndpoints) {
+  auto w = hammingWindow(11);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+  EXPECT_NEAR(w.back(), 0.08, 1e-12);
+  EXPECT_NEAR(w[5], 1.0, 1e-12);
+}
+
+TEST(Window, BlackmanEndpointsNearZero) {
+  auto w = blackmanWindow(11);
+  EXPECT_NEAR(w.front(), 0.0, 1e-9);
+  EXPECT_NEAR(w[5], 1.0, 1e-9);
+}
+
+TEST(Window, SymmetryProperty) {
+  for (auto make : {hannWindow, hammingWindow, blackmanWindow}) {
+    auto w = make(17);
+    for (size_t i = 0; i < w.size(); ++i)
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Window, LengthOneIsFinite) {
+  EXPECT_EQ(hannWindow(1).size(), 1u);
+  EXPECT_FALSE(std::isnan(hannWindow(1)[0]));
+}
+
+TEST(Window, ZeroLengthThrows) {
+  EXPECT_THROW(hannWindow(0), std::invalid_argument);
+  EXPECT_THROW(rectangularWindow(0), std::invalid_argument);
+}
+
+TEST(Window, ApplyWindowElementwise) {
+  std::vector<double> signal{1.0, 2.0, 3.0};
+  std::vector<double> window{0.5, 1.0, 0.5};
+  auto out = applyWindow(signal, window);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.5);
+  EXPECT_THROW(applyWindow(signal, {1.0}), std::invalid_argument);
+}
+
+TEST(Window, CoherentGainEmptyThrows) {
+  EXPECT_THROW(coherentGain({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pllbist::dsp

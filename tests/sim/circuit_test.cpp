@@ -1,0 +1,166 @@
+#include "sim/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace pllbist::sim {
+namespace {
+
+TEST(Circuit, SignalCreationAndInitialValue) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  SignalId b = c.addSignal("b", true);
+  EXPECT_FALSE(c.value(a));
+  EXPECT_TRUE(c.value(b));
+  EXPECT_EQ(c.signalName(a), "a");
+  EXPECT_EQ(c.signalCount(), 2);
+}
+
+TEST(Circuit, InvalidIdThrows) {
+  Circuit c;
+  EXPECT_THROW(c.value(0), std::invalid_argument);
+  SignalId a = c.addSignal("a");
+  EXPECT_THROW(c.value(a + 1), std::invalid_argument);
+  EXPECT_THROW(c.scheduleSet(-1, 0.0, true), std::invalid_argument);
+}
+
+TEST(Circuit, ScheduledSetDeliversInTimeOrder) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  std::vector<double> times;
+  c.onChange(a, [&](double now, bool) { times.push_back(now); });
+  c.scheduleSet(a, 3.0, false);  // no-op at 3.0 (already false after toggle below? -> ordering)
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleSet(a, 2.0, false);
+  c.run(10.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(Circuit, UnchangedValueSwallowed) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  int changes = 0;
+  c.onChange(a, [&](double, bool) { ++changes; });
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleSet(a, 2.0, true);  // swallowed
+  c.run(5.0);
+  EXPECT_EQ(changes, 1);
+}
+
+TEST(Circuit, SameTimeEventsKeepInsertionOrder) {
+  Circuit c;
+  std::vector<int> order;
+  c.scheduleCallback(1.0, [&](double) { order.push_back(1); });
+  c.scheduleCallback(1.0, [&](double) { order.push_back(2); });
+  c.scheduleCallback(1.0, [&](double) { order.push_back(3); });
+  c.run(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Circuit, EdgeCallbacksFilterPolarity) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  int rises = 0, falls = 0;
+  c.onRisingEdge(a, [&](double) { ++rises; });
+  c.onFallingEdge(a, [&](double) { ++falls; });
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleSet(a, 2.0, false);
+  c.scheduleSet(a, 3.0, true);
+  c.run(5.0);
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 1);
+}
+
+TEST(Circuit, CallbackMaySchedule) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleCallback(1.0, [&](double now) { c.scheduleSet(a, now + 0.5, true); });
+  c.run(2.0);
+  EXPECT_TRUE(c.value(a));
+}
+
+TEST(Circuit, SchedulingInThePastAsserts) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.run(5.0);
+  EXPECT_THROW(c.scheduleSet(a, 1.0, true), AssertionError);
+}
+
+TEST(Circuit, RunStopsAtBoundaryAndResumes) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleSet(a, 3.0, false);
+  c.run(2.0);
+  EXPECT_TRUE(c.value(a));
+  c.run(4.0);
+  EXPECT_FALSE(c.value(a));
+}
+
+TEST(Circuit, EventExactlyAtBoundaryIsProcessed) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleSet(a, 2.0, true);
+  c.run(2.0);
+  EXPECT_TRUE(c.value(a));
+}
+
+TEST(Circuit, RequestStopAbortsRun) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleCallback(1.0, [&](double) { c.requestStop(); });
+  c.scheduleSet(a, 2.0, true);
+  EXPECT_FALSE(c.run(5.0));
+  EXPECT_FALSE(c.value(a));        // later event not yet delivered
+  EXPECT_TRUE(c.run(5.0));         // resume
+  EXPECT_TRUE(c.value(a));
+}
+
+TEST(Circuit, StepProcessesSingleEvent) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleSet(a, 2.0, false);
+  EXPECT_TRUE(c.step());
+  EXPECT_TRUE(c.value(a));
+  EXPECT_TRUE(c.step());
+  EXPECT_FALSE(c.value(a));
+  EXPECT_FALSE(c.step());  // queue empty
+}
+
+TEST(Circuit, ProcessedEventCountGrows) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleSet(a, 2.0, false);
+  c.run(3.0);
+  EXPECT_EQ(c.processedEventCount(), 2u);
+}
+
+TEST(Circuit, SetNowDeliversAtCurrentTime) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  double seen = -1.0;
+  c.onRisingEdge(a, [&](double now) { seen = now; });
+  c.run(4.0);
+  c.setNow(a, true);
+  c.run(4.0);
+  EXPECT_DOUBLE_EQ(seen, 4.0);
+}
+
+TEST(Circuit, ManyListenersAllFire) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  int count = 0;
+  for (int i = 0; i < 10; ++i) c.onChange(a, [&](double, bool) { ++count; });
+  c.scheduleSet(a, 1.0, true);
+  c.run(2.0);
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace pllbist::sim

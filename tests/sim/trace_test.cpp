@@ -1,0 +1,86 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pllbist::sim {
+namespace {
+
+TEST(Trace, AppendAndQuery) {
+  Trace t("vctl");
+  t.append(0.0, 1.0);
+  t.append(1.0, 3.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.name(), "vctl");
+  EXPECT_DOUBLE_EQ(t.at(0.5), 2.0);
+}
+
+TEST(Trace, NonMonotonicAppendAsserts) {
+  Trace t("x");
+  t.append(1.0, 0.0);
+  EXPECT_THROW(t.append(0.5, 0.0), pllbist::AssertionError);
+}
+
+TEST(Trace, EqualTimestampsAllowed) {
+  Trace t("x");
+  t.append(1.0, 0.0);
+  t.append(1.0, 5.0);  // zero-width step is legal (event boundary)
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Trace, AfterDiscardsSettling) {
+  Trace t("x");
+  for (int i = 0; i < 10; ++i) t.append(static_cast<double>(i), static_cast<double>(i));
+  Trace late = t.after(5.0);
+  EXPECT_EQ(late.size(), 5u);
+  EXPECT_DOUBLE_EQ(late.times().front(), 5.0);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t("x");
+  t.append(0.0, 1.0);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(WriteTracesCsv, HeaderAndRows) {
+  Trace a("a"), b("b");
+  a.append(0.0, 1.0);
+  a.append(1.0, 2.0);
+  b.append(0.0, 5.0);
+  std::ostringstream os;
+  writeTracesCsv(os, {&a, &b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("t_a,a,t_b,b"), std::string::npos);
+  EXPECT_NE(out.find("0,1,0,5"), std::string::npos);
+  EXPECT_NE(out.find("1,2,,"), std::string::npos);  // short trace leaves blanks
+}
+
+TEST(WriteTracesCsv, NullTraceThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(writeTracesCsv(os, {nullptr}), std::invalid_argument);
+}
+
+TEST(RenderAscii, ProducesGridOfRequestedSize) {
+  Trace t("wave");
+  for (int i = 0; i <= 100; ++i) t.append(i * 0.01, std::sin(i * 0.1));
+  const std::string art = renderAscii(t, 40, 8);
+  // header + 8 rows
+  int lines = 0;
+  for (char ch : art)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 9);
+  EXPECT_NE(art.find("wave"), std::string::npos);
+}
+
+TEST(RenderAscii, EmptyTraceSafe) {
+  Trace t("none");
+  EXPECT_EQ(renderAscii(t), "(empty trace)\n");
+}
+
+}  // namespace
+}  // namespace pllbist::sim
