@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadzone.dir/ablation_deadzone.cpp.o"
+  "CMakeFiles/ablation_deadzone.dir/ablation_deadzone.cpp.o.d"
+  "ablation_deadzone"
+  "ablation_deadzone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault_coverage.dir/ablation_fault_coverage.cpp.o"
+  "CMakeFiles/ablation_fault_coverage.dir/ablation_fault_coverage.cpp.o.d"
+  "ablation_fault_coverage"
+  "ablation_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fm_steps.dir/ablation_fm_steps.cpp.o"
+  "CMakeFiles/ablation_fm_steps.dir/ablation_fm_steps.cpp.o.d"
+  "ablation_fm_steps"
+  "ablation_fm_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fm_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

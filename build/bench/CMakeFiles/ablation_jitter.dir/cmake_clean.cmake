@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jitter.dir/ablation_jitter.cpp.o"
+  "CMakeFiles/ablation_jitter.dir/ablation_jitter.cpp.o.d"
+  "ablation_jitter"
+  "ablation_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

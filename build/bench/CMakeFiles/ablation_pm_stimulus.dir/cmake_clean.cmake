@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pm_stimulus.dir/ablation_pm_stimulus.cpp.o"
+  "CMakeFiles/ablation_pm_stimulus.dir/ablation_pm_stimulus.cpp.o.d"
+  "ablation_pm_stimulus"
+  "ablation_pm_stimulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pm_stimulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

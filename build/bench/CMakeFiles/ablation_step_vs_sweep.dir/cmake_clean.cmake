@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_step_vs_sweep.dir/ablation_step_vs_sweep.cpp.o"
+  "CMakeFiles/ablation_step_vs_sweep.dir/ablation_step_vs_sweep.cpp.o.d"
+  "ablation_step_vs_sweep"
+  "ablation_step_vs_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_step_vs_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

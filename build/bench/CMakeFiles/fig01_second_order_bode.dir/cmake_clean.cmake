@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_second_order_bode.dir/fig01_second_order_bode.cpp.o"
+  "CMakeFiles/fig01_second_order_bode.dir/fig01_second_order_bode.cpp.o.d"
+  "fig01_second_order_bode"
+  "fig01_second_order_bode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_second_order_bode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

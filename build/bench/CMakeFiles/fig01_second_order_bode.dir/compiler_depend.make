@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_second_order_bode.
+# This may be replaced when dependencies are built.

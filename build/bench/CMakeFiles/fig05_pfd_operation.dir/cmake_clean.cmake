@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_pfd_operation.dir/fig05_pfd_operation.cpp.o"
+  "CMakeFiles/fig05_pfd_operation.dir/fig05_pfd_operation.cpp.o.d"
+  "fig05_pfd_operation"
+  "fig05_pfd_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pfd_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_peak_detect_waveforms.dir/fig08_peak_detect_waveforms.cpp.o"
+  "CMakeFiles/fig08_peak_detect_waveforms.dir/fig08_peak_detect_waveforms.cpp.o.d"
+  "fig08_peak_detect_waveforms"
+  "fig08_peak_detect_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_peak_detect_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_peak_detect_waveforms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_theoretical_response.cpp" "bench/CMakeFiles/fig10_theoretical_response.dir/fig10_theoretical_response.cpp.o" "gcc" "bench/CMakeFiles/fig10_theoretical_response.dir/fig10_theoretical_response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pllbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/pllbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pllbist_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pll/CMakeFiles/pllbist_pll.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pllbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pllbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pllbist_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_theoretical_response.dir/fig10_theoretical_response.cpp.o"
+  "CMakeFiles/fig10_theoretical_response.dir/fig10_theoretical_response.cpp.o.d"
+  "fig10_theoretical_response"
+  "fig10_theoretical_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_theoretical_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_magnitude_response.dir/fig11_magnitude_response.cpp.o"
+  "CMakeFiles/fig11_magnitude_response.dir/fig11_magnitude_response.cpp.o.d"
+  "fig11_magnitude_response"
+  "fig11_magnitude_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_magnitude_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_phase_response.dir/fig12_phase_response.cpp.o"
+  "CMakeFiles/fig12_phase_response.dir/fig12_phase_response.cpp.o.d"
+  "fig12_phase_response"
+  "fig12_phase_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_phase_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_simulation.dir/perf_simulation.cpp.o"
+  "CMakeFiles/perf_simulation.dir/perf_simulation.cpp.o.d"
+  "perf_simulation"
+  "perf_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_dco_resolution.dir/table01_dco_resolution.cpp.o"
+  "CMakeFiles/table01_dco_resolution.dir/table01_dco_resolution.cpp.o.d"
+  "table01_dco_resolution"
+  "table01_dco_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_dco_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_test_sequence.dir/table02_test_sequence.cpp.o"
+  "CMakeFiles/table02_test_sequence.dir/table02_test_sequence.cpp.o.d"
+  "table02_test_sequence"
+  "table02_test_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_test_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_reference_config.dir/table03_reference_config.cpp.o"
+  "CMakeFiles/table03_reference_config.dir/table03_reference_config.cpp.o.d"
+  "table03_reference_config"
+  "table03_reference_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_reference_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_bist.dir/bench_vs_bist.cpp.o"
+  "CMakeFiles/bench_vs_bist.dir/bench_vs_bist.cpp.o.d"
+  "bench_vs_bist"
+  "bench_vs_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_design_workshop.dir/loop_design_workshop.cpp.o"
+  "CMakeFiles/loop_design_workshop.dir/loop_design_workshop.cpp.o.d"
+  "loop_design_workshop"
+  "loop_design_workshop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_design_workshop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

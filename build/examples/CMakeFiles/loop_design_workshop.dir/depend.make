@@ -1,0 +1,2 @@
+# Empty dependencies file for loop_design_workshop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poweron_selftest.dir/poweron_selftest.cpp.o"
+  "CMakeFiles/poweron_selftest.dir/poweron_selftest.cpp.o.d"
+  "poweron_selftest"
+  "poweron_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poweron_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

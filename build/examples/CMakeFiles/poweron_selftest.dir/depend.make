@@ -1,0 +1,2 @@
+# Empty dependencies file for poweron_selftest.
+# This may be replaced when dependencies are built.

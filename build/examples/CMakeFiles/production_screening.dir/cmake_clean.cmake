@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_screening.dir/production_screening.cpp.o"
+  "CMakeFiles/production_screening.dir/production_screening.cpp.o.d"
+  "production_screening"
+  "production_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

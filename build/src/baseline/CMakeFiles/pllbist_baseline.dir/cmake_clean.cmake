@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_baseline.dir/bench_measurement.cpp.o"
+  "CMakeFiles/pllbist_baseline.dir/bench_measurement.cpp.o.d"
+  "libpllbist_baseline.a"
+  "libpllbist_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

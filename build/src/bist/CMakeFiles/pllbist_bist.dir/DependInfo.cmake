@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/analysis.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/analysis.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/analysis.cpp.o.d"
+  "/root/repo/src/bist/controller.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/controller.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/controller.cpp.o.d"
+  "/root/repo/src/bist/counters.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/counters.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/counters.cpp.o.d"
+  "/root/repo/src/bist/dco.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/dco.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/dco.cpp.o.d"
+  "/root/repo/src/bist/delay_line.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/delay_line.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/delay_line.cpp.o.d"
+  "/root/repo/src/bist/modulator.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/modulator.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/modulator.cpp.o.d"
+  "/root/repo/src/bist/peak_detector.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/peak_detector.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/peak_detector.cpp.o.d"
+  "/root/repo/src/bist/sequencer.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/sequencer.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/sequencer.cpp.o.d"
+  "/root/repo/src/bist/step_test.cpp" "src/bist/CMakeFiles/pllbist_bist.dir/step_test.cpp.o" "gcc" "src/bist/CMakeFiles/pllbist_bist.dir/step_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pll/CMakeFiles/pllbist_pll.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pllbist_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pllbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pllbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

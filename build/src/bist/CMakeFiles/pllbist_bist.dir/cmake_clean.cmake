@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_bist.dir/analysis.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/analysis.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/controller.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/controller.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/counters.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/counters.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/dco.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/dco.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/delay_line.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/delay_line.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/modulator.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/modulator.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/peak_detector.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/peak_detector.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/sequencer.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/sequencer.cpp.o.d"
+  "CMakeFiles/pllbist_bist.dir/step_test.cpp.o"
+  "CMakeFiles/pllbist_bist.dir/step_test.cpp.o.d"
+  "libpllbist_bist.a"
+  "libpllbist_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

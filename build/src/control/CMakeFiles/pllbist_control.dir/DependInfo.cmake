@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/bode.cpp" "src/control/CMakeFiles/pllbist_control.dir/bode.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/bode.cpp.o.d"
+  "/root/repo/src/control/cppll_model.cpp" "src/control/CMakeFiles/pllbist_control.dir/cppll_model.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/cppll_model.cpp.o.d"
+  "/root/repo/src/control/grid.cpp" "src/control/CMakeFiles/pllbist_control.dir/grid.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/grid.cpp.o.d"
+  "/root/repo/src/control/margins.cpp" "src/control/CMakeFiles/pllbist_control.dir/margins.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/margins.cpp.o.d"
+  "/root/repo/src/control/polynomial.cpp" "src/control/CMakeFiles/pllbist_control.dir/polynomial.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/polynomial.cpp.o.d"
+  "/root/repo/src/control/second_order.cpp" "src/control/CMakeFiles/pllbist_control.dir/second_order.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/second_order.cpp.o.d"
+  "/root/repo/src/control/state_space.cpp" "src/control/CMakeFiles/pllbist_control.dir/state_space.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/state_space.cpp.o.d"
+  "/root/repo/src/control/transfer_function.cpp" "src/control/CMakeFiles/pllbist_control.dir/transfer_function.cpp.o" "gcc" "src/control/CMakeFiles/pllbist_control.dir/transfer_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_control.dir/bode.cpp.o"
+  "CMakeFiles/pllbist_control.dir/bode.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/cppll_model.cpp.o"
+  "CMakeFiles/pllbist_control.dir/cppll_model.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/grid.cpp.o"
+  "CMakeFiles/pllbist_control.dir/grid.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/margins.cpp.o"
+  "CMakeFiles/pllbist_control.dir/margins.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/polynomial.cpp.o"
+  "CMakeFiles/pllbist_control.dir/polynomial.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/second_order.cpp.o"
+  "CMakeFiles/pllbist_control.dir/second_order.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/state_space.cpp.o"
+  "CMakeFiles/pllbist_control.dir/state_space.cpp.o.d"
+  "CMakeFiles/pllbist_control.dir/transfer_function.cpp.o"
+  "CMakeFiles/pllbist_control.dir/transfer_function.cpp.o.d"
+  "libpllbist_control.a"
+  "libpllbist_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpllbist_control.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_core.dir/characterization.cpp.o"
+  "CMakeFiles/pllbist_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/pllbist_core.dir/measurement.cpp.o"
+  "CMakeFiles/pllbist_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/pllbist_core.dir/testplan.cpp.o"
+  "CMakeFiles/pllbist_core.dir/testplan.cpp.o.d"
+  "libpllbist_core.a"
+  "libpllbist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_dsp.dir/fft.cpp.o"
+  "CMakeFiles/pllbist_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/pllbist_dsp.dir/resample.cpp.o"
+  "CMakeFiles/pllbist_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/pllbist_dsp.dir/statistics.cpp.o"
+  "CMakeFiles/pllbist_dsp.dir/statistics.cpp.o.d"
+  "CMakeFiles/pllbist_dsp.dir/tone.cpp.o"
+  "CMakeFiles/pllbist_dsp.dir/tone.cpp.o.d"
+  "CMakeFiles/pllbist_dsp.dir/window.cpp.o"
+  "CMakeFiles/pllbist_dsp.dir/window.cpp.o.d"
+  "libpllbist_dsp.a"
+  "libpllbist_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

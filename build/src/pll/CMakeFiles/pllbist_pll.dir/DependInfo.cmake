@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pll/config.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/config.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/config.cpp.o.d"
+  "/root/repo/src/pll/cppll.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/cppll.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/cppll.cpp.o.d"
+  "/root/repo/src/pll/faults.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/faults.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/faults.cpp.o.d"
+  "/root/repo/src/pll/pfd.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/pfd.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/pfd.cpp.o.d"
+  "/root/repo/src/pll/probes.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/probes.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/probes.cpp.o.d"
+  "/root/repo/src/pll/pump_filter.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/pump_filter.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/pump_filter.cpp.o.d"
+  "/root/repo/src/pll/sources.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/sources.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/sources.cpp.o.d"
+  "/root/repo/src/pll/vco.cpp" "src/pll/CMakeFiles/pllbist_pll.dir/vco.cpp.o" "gcc" "src/pll/CMakeFiles/pllbist_pll.dir/vco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pllbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pllbist_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pllbist_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_pll.dir/config.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/config.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/cppll.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/cppll.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/faults.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/faults.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/pfd.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/pfd.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/probes.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/probes.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/pump_filter.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/pump_filter.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/sources.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/sources.cpp.o.d"
+  "CMakeFiles/pllbist_pll.dir/vco.cpp.o"
+  "CMakeFiles/pllbist_pll.dir/vco.cpp.o.d"
+  "libpllbist_pll.a"
+  "libpllbist_pll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_pll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pllbist_pll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pllbist_sim.dir/circuit.cpp.o"
+  "CMakeFiles/pllbist_sim.dir/circuit.cpp.o.d"
+  "CMakeFiles/pllbist_sim.dir/primitives.cpp.o"
+  "CMakeFiles/pllbist_sim.dir/primitives.cpp.o.d"
+  "CMakeFiles/pllbist_sim.dir/trace.cpp.o"
+  "CMakeFiles/pllbist_sim.dir/trace.cpp.o.d"
+  "libpllbist_sim.a"
+  "libpllbist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pllbist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bist/analysis_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/analysis_test.cpp.o.d"
+  "/root/repo/tests/bist/controller_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/controller_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/controller_test.cpp.o.d"
+  "/root/repo/tests/bist/counters_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/counters_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/counters_test.cpp.o.d"
+  "/root/repo/tests/bist/dco_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/dco_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/dco_test.cpp.o.d"
+  "/root/repo/tests/bist/delay_line_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/delay_line_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/delay_line_test.cpp.o.d"
+  "/root/repo/tests/bist/modulator_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/modulator_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/modulator_test.cpp.o.d"
+  "/root/repo/tests/bist/peak_detector_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/peak_detector_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/peak_detector_test.cpp.o.d"
+  "/root/repo/tests/bist/robustness_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/robustness_test.cpp.o.d"
+  "/root/repo/tests/bist/sequencer_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/sequencer_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/sequencer_test.cpp.o.d"
+  "/root/repo/tests/bist/step_test_test.cpp" "tests/CMakeFiles/bist_tests.dir/bist/step_test_test.cpp.o" "gcc" "tests/CMakeFiles/bist_tests.dir/bist/step_test_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pllbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/pllbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pllbist_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pll/CMakeFiles/pllbist_pll.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pllbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pllbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pllbist_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_tests.dir/bist/analysis_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/analysis_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/controller_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/controller_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/counters_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/counters_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/dco_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/dco_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/delay_line_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/delay_line_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/modulator_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/modulator_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/peak_detector_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/peak_detector_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/robustness_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/robustness_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/sequencer_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/sequencer_test.cpp.o.d"
+  "CMakeFiles/bist_tests.dir/bist/step_test_test.cpp.o"
+  "CMakeFiles/bist_tests.dir/bist/step_test_test.cpp.o.d"
+  "bist_tests"
+  "bist_tests.pdb"
+  "bist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_tests.dir/control/bode_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/bode_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/cppll_model_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/cppll_model_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/grid_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/grid_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/margins_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/margins_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/polynomial_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/polynomial_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/second_order_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/second_order_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/state_space_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/state_space_test.cpp.o.d"
+  "CMakeFiles/control_tests.dir/control/transfer_function_test.cpp.o"
+  "CMakeFiles/control_tests.dir/control/transfer_function_test.cpp.o.d"
+  "control_tests"
+  "control_tests.pdb"
+  "control_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_tests.dir/dsp/fft_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/fft_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/resample_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/resample_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/statistics_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/statistics_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/tone_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/tone_test.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/window_test.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/window_test.cpp.o.d"
+  "dsp_tests"
+  "dsp_tests.pdb"
+  "dsp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

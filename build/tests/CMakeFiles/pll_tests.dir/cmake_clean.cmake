@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pll_tests.dir/pll/config_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/config_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/cppll_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/cppll_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/current_pump_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/current_pump_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/faults_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/faults_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/pfd_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/pfd_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/probes_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/probes_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/pump_filter_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/pump_filter_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/sources_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/sources_test.cpp.o.d"
+  "CMakeFiles/pll_tests.dir/pll/vco_test.cpp.o"
+  "CMakeFiles/pll_tests.dir/pll/vco_test.cpp.o.d"
+  "pll_tests"
+  "pll_tests.pdb"
+  "pll_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pll_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

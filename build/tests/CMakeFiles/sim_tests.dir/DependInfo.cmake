@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/circuit_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/circuit_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/circuit_test.cpp.o.d"
+  "/root/repo/tests/sim/primitives_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/primitives_test.cpp.o.d"
+  "/root/repo/tests/sim/stress_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/stress_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stress_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pllbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/pllbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pllbist_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pll/CMakeFiles/pllbist_pll.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pllbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pllbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pllbist_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

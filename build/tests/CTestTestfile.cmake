@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/control_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsp_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/pll_tests[1]_include.cmake")
+include("/root/repo/build/tests/bist_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
