@@ -1,0 +1,92 @@
+// Resilience campaign: how much simultaneous reference jitter and
+// response-capture fault injection can the sweep engine absorb before it
+// starts losing points?
+//
+// Grid: reference edge jitter (RMS, as a fraction of Tref) x per-attempt
+// detector deafness probability — with probability p, a measurement
+// attempt runs with the peak detector's MFREQ output stuck (every edge
+// swallowed by the sim-level fault injector), so that attempt can only end
+// in the watchdog. The retry layer should convert first-attempt deafness
+// into Retried points; a point is lost only when all attempts draw deaf
+// (probability p^3). Each cell runs a full resilient sweep and reports
+//
+//   survival  usable points / total (Ok + Retried + Degraded)
+//   flagged   points the quality layer marked non-Ok — interference the
+//             report *surfaces* rather than silently absorbs
+//
+// plus the retry accounting. The campaign is deterministic: every cell
+// seeds its own jitter stream and deafness draws.
+//
+// (Why stuck-at rather than per-edge drops: the MFREQ sampler re-drives
+// its net every reference cycle, so an occasional dropped edge is healed
+// ~100 us later and perturbs nothing. Whole-attempt deafness is the
+// fault mode the paper's serial capture path is actually exposed to.)
+
+#include <cstdint>
+#include <cstdio>
+#include <random>
+
+#include "bist/resilient_sweep.hpp"
+#include "bist/testbench.hpp"
+#include "pll/config.hpp"
+#include "sim/fault_injector.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+using namespace pllbist;
+
+bist::SweepQualityReport runCell(double jitter_fraction_of_tref, double deaf_p, unsigned seed) {
+  const pll::PllConfig cfg = pll::scaledTestConfig();
+  bist::SweepOptions opt = bist::quickSweepOptions(cfg, bist::StimulusKind::PureSineFm, 3);
+  opt.modulation_frequencies_hz = {100.0, 200.0, 400.0};
+  opt.ref_edge_jitter_rms_s = jitter_fraction_of_tref / cfg.ref_frequency_hz;
+  opt.jitter_seed = seed;
+
+  bist::ResilientSweepOptions rs;
+  rs.max_attempts = 3;
+  rs.settle_backoff = 1.5;
+
+  bist::ResilientSweep engine(cfg, opt, rs);
+  std::mt19937_64 deaf_rng(seed * 7919u + 17u);
+  engine.onAttemptStart([&](std::size_t, int, bist::SweepTestbench& tb) {
+    sim::FaultInjector& inj = tb.faultInjector(seed);
+    inj.clearRules();
+    const double u = static_cast<double>(deaf_rng() >> 11) * 0x1.0p-53;
+    if (u < deaf_p) inj.stickSignal(tb.mfreq(), tb.circuit().now());
+  });
+  return engine.run().report;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::printHeader(
+      "Campaign - sweep resilience vs reference jitter x detector deafness rate");
+
+  const double jitters[] = {0.0, 0.005, 0.02};  // fraction of Tref, RMS
+  const double deaf_rates[] = {0.0, 0.3, 0.7};  // per-attempt deaf probability
+
+  std::printf("\n%11s %8s | %9s %8s | %3s %4s %4s %4s | %8s %7s\n", "jitter RMS", "deaf p",
+              "survival", "flagged", "ok", "retr", "degr", "drop", "attempts", "relocks");
+  for (double jitter : jitters) {
+    for (double p : deaf_rates) {
+      const bist::SweepQualityReport r = runCell(jitter, p, 1);
+      const double survival = r.points_total > 0 ? 100.0 * r.usable() / r.points_total : 0.0;
+      const int flagged = r.retried + r.degraded + r.dropped;
+      const double flagged_pct = r.points_total > 0 ? 100.0 * flagged / r.points_total : 0.0;
+      std::printf("%9.1f%% %8.1f | %8.1f%% %7.1f%% | %3d %4d %4d %4d | %8d %7d\n",
+                  jitter * 100.0, p, survival, flagged_pct, r.ok, r.retried, r.degraded,
+                  r.dropped, r.attempts_total, r.relocks);
+    }
+  }
+
+  std::printf(
+      "\nExpectation: the clean column is 100%% survival with nothing flagged, at any\n"
+      "jitter level (the counters average jitter out; it degrades accuracy, not\n"
+      "completion). At deaf p = 0.3 the retry budget should rescue nearly every\n"
+      "affected point (flagged ~ p, survival ~ 100%%). At p = 0.7 some points burn\n"
+      "all three attempts (p^3 ~ 34%%) — those must come back labelled Dropped with\n"
+      "a structured retry-exhausted reason, never as a hang or a throw.\n");
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "bist/controller.hpp"
 #include "bist/step_test.hpp"
 #include "common/units.hpp"
+#include "core/measurement.hpp"
 #include "pll/config.hpp"
 #include "pll/faults.hpp"
 
@@ -55,10 +56,18 @@ void runSelfTest(const char* name, const pll::PllConfig& cfg, const SelfTestPoli
   }
   std::printf("tier 1 verdict: MARGINAL -> running tier 2 sweep for diagnosis\n");
 
-  bist::BistController controller(
-      cfg, bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, 9));
-  const bist::MeasuredResponse sweep = controller.run();
-  const bist::ExtractedParameters p = bist::extractParameters(sweep.toBode());
+  // Tier 2 runs through the resilient engine: on a sick device a point may
+  // need retries or fail outright, and a boot-time self-test must report
+  // that rather than hang or crash the diagnosis.
+  core::TransferFunctionMeasurement meas(cfg);
+  const core::MeasurementResult diag =
+      meas.runResilient(bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, 9));
+  std::printf("tier 2 quality: %s\n", diag.quality.summary().c_str());
+  if (!diag.status.ok()) {
+    std::printf("tier 2 verdict: FAIL (%s)\n\n", diag.status.toString().c_str());
+    return;
+  }
+  const bist::ExtractedParameters& p = diag.parameters;
   std::printf("tier 2 (sweep): peaking %.2f dB at %.1f Hz", p.peaking_db, p.peak_frequency_hz);
   if (p.zeta) std::printf(", zeta %.3f", *p.zeta);
   if (p.natural_frequency_hz) std::printf(", fn %.1f Hz", *p.natural_frequency_hz);

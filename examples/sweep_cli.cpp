@@ -63,7 +63,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--device") device = next();
     else if (arg == "--stimulus") stimulus = next();
-    else if (arg == "--points") points = std::stoi(next());
+    else if (arg == "--points") {
+      points = std::stoi(next());
+      if (points < 1) usage(argv[0]);
+    }
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--fault") fault_text = next();
     else if (arg == "--step") step_mode = true;
@@ -111,12 +114,22 @@ int main(int argc, char** argv) {
   else if (stimulus == "pm") kind = bist::StimulusKind::DelayLinePm;
   else usage(argv[0]);
 
-  bist::BistController controller(cfg, bist::quickSweepOptions(cfg, kind, points));
-  controller.onPointMeasured([](const bist::MeasuredPoint& p) {
-    std::printf("  fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg%s\n", p.modulation_hz,
-                p.deviation_hz, p.phase_deg, p.timed_out ? " [TIMEOUT]" : "");
+  // Sweep through the resilient engine: an injected catastrophic fault (or a
+  // genuinely broken preset) drops points instead of hanging or throwing.
+  bist::ResilientSweep engine(cfg, bist::quickSweepOptions(cfg, kind, points));
+  engine.onPointMeasured([](const bist::MeasuredPoint& p) {
+    std::printf("  fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", p.modulation_hz,
+                p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
   });
-  const bist::MeasuredResponse measured = controller.run();
+  const bist::ResilientResponse result = engine.run();
+  const bist::MeasuredResponse& measured = result.response;
+
+  std::printf("sweep quality: %s\n", result.report.summary().c_str());
+  if (!result.status.ok() || result.report.usable() == 0) {
+    std::printf("sweep failed: %s\n",
+                result.status.ok() ? "no usable points" : result.status.toString().c_str());
+    return 1;
+  }
   const control::BodeResponse bode = measured.toBode();
   const bist::ExtractedParameters p = bist::extractParameters(bode);
 

@@ -4,16 +4,10 @@
 #include <memory>
 #include <stdexcept>
 
-#include "bist/dco.hpp"
-#include "bist/delay_line.hpp"
-#include "bist/modulator.hpp"
-#include "bist/peak_detector.hpp"
+#include "bist/testbench.hpp"
 #include "common/assert.hpp"
 #include "common/units.hpp"
 #include "control/grid.hpp"
-#include "pll/cppll.hpp"
-#include "pll/sources.hpp"
-#include "sim/circuit.hpp"
 
 namespace pllbist::bist {
 
@@ -27,25 +21,82 @@ const char* to_string(StimulusKind kind) {
   return "unknown";
 }
 
-void SweepOptions::validate() const {
-  if (fm_steps < 2) throw std::invalid_argument("SweepOptions: fm_steps must be >= 2");
-  if (deviation_hz <= 0.0) throw std::invalid_argument("SweepOptions: deviation must be positive");
-  if (modulation_frequencies_hz.empty())
-    throw std::invalid_argument("SweepOptions: need at least one modulation frequency");
-  for (size_t i = 0; i < modulation_frequencies_hz.size(); ++i) {
-    if (modulation_frequencies_hz[i] <= 0.0)
-      throw std::invalid_argument("SweepOptions: modulation frequencies must be positive");
-    if (i > 0 && modulation_frequencies_hz[i] <= modulation_frequencies_hz[i - 1])
-      throw std::invalid_argument("SweepOptions: modulation frequencies must be ascending");
+const char* to_string(PointQuality quality) {
+  switch (quality) {
+    case PointQuality::Ok: return "ok";
+    case PointQuality::Retried: return "retried";
+    case PointQuality::Degraded: return "degraded";
+    case PointQuality::Dropped: return "dropped";
   }
-  if (master_clock_hz <= 0.0) throw std::invalid_argument("SweepOptions: master clock must be positive");
-  if (pm_taps < 2) throw std::invalid_argument("SweepOptions: pm_taps must be >= 2");
-  if (pm_tap_delay_s < 0.0) throw std::invalid_argument("SweepOptions: pm_tap_delay must be >= 0");
-  if (lock_wait_s < 0.0) throw std::invalid_argument("SweepOptions: lock wait must be >= 0");
-  if (static_settle_s <= 0.0)
-    throw std::invalid_argument("SweepOptions: static settle must be positive");
-  sequencer.validate();
+  return "unknown";
 }
+
+Status SweepOptions::check() const {
+  using K = Status::Kind;
+  if (fm_steps < 2)
+    return Status::makef(K::InvalidArgument, "SweepOptions: fm_steps = %d, must be >= 2", fm_steps);
+  if (deviation_hz <= 0.0)
+    return Status::makef(K::InvalidArgument, "SweepOptions: deviation_hz = %g, must be positive",
+                         deviation_hz);
+  if (modulation_frequencies_hz.empty())
+    return Status::make(K::InvalidArgument,
+                        "SweepOptions: modulation_frequencies_hz is empty, need >= 1 frequency");
+  for (size_t i = 0; i < modulation_frequencies_hz.size(); ++i) {
+    if (!(modulation_frequencies_hz[i] > 0.0))
+      return Status::makef(K::InvalidArgument,
+                           "SweepOptions: modulation_frequencies_hz[%zu] = %g, must be positive",
+                           i, modulation_frequencies_hz[i]);
+    if (i > 0 && modulation_frequencies_hz[i] <= modulation_frequencies_hz[i - 1])
+      return Status::makef(
+          K::InvalidArgument,
+          "SweepOptions: modulation_frequencies_hz[%zu] = %g <= [%zu] = %g, must be strictly "
+          "ascending",
+          i, modulation_frequencies_hz[i], i - 1, modulation_frequencies_hz[i - 1]);
+  }
+  if (!(master_clock_hz > 0.0))
+    return Status::makef(K::InvalidArgument, "SweepOptions: master_clock_hz = %g, must be positive",
+                         master_clock_hz);
+  if (pm_taps < 2)
+    return Status::makef(K::InvalidArgument, "SweepOptions: pm_taps = %d, must be >= 2", pm_taps);
+  if (pm_tap_delay_s < 0.0)
+    return Status::makef(K::InvalidArgument, "SweepOptions: pm_tap_delay_s = %g, must be >= 0",
+                         pm_tap_delay_s);
+  if (lock_wait_s < 0.0)
+    return Status::makef(K::InvalidArgument, "SweepOptions: lock_wait_s = %g, must be >= 0",
+                         lock_wait_s);
+  if (static_settle_s <= 0.0)
+    return Status::makef(K::InvalidArgument, "SweepOptions: static_settle_s = %g, must be positive",
+                         static_settle_s);
+  if (ref_edge_jitter_rms_s < 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "SweepOptions: ref_edge_jitter_rms_s = %g, must be >= 0",
+                         ref_edge_jitter_rms_s);
+  return sequencer.check();
+}
+
+Status SweepOptions::check(const pll::PllConfig& config) const {
+  const Status own = check();
+  if (!own.ok()) return own;
+  using K = Status::Kind;
+  // An FM deviation at or above the reference frequency would swing the
+  // DCO program through 0 Hz — physically meaningless and a guaranteed
+  // dead sweep.
+  if (stimulus != StimulusKind::DelayLinePm && deviation_hz >= config.ref_frequency_hz)
+    return Status::makef(K::InvalidArgument,
+                         "SweepOptions: deviation_hz = %g must be below the reference frequency "
+                         "(%g Hz)",
+                         deviation_hz, config.ref_frequency_hz);
+  if (stimulus == StimulusKind::MultiToneFsk || stimulus == StimulusKind::TwoToneFsk) {
+    if (master_clock_hz <= 2.0 * config.ref_frequency_hz)
+      return Status::makef(K::InvalidArgument,
+                           "SweepOptions: master_clock_hz = %g too slow for a %g Hz reference "
+                           "(DCO needs >= 2x)",
+                           master_clock_hz, config.ref_frequency_hz);
+  }
+  return Status();
+}
+
+void SweepOptions::validate() const { check().throwIfError(); }
 
 std::vector<double> SweepOptions::defaultSweep(double fn_hz, int points) {
   if (fn_hz <= 0.0) throw std::invalid_argument("defaultSweep: fn must be positive");
@@ -109,96 +160,24 @@ std::vector<double> MeasuredResponse::modulationFrequencies() const {
 BistController::BistController(const pll::PllConfig& pll_config, SweepOptions options)
     : pll_config_(pll_config), options_(std::move(options)) {
   pll_config_.validate();
-  options_.validate();
+  options_.check(pll_config_).throwIfError();
 }
 
 MeasuredResponse BistController::run() {
   if (used_) throw std::logic_error("BistController::run: controller already used");
   used_ = true;
 
-  sim::Circuit c;
-  const sim::SignalId ext_ref = c.addSignal("ext_ref");  // unused normal-mode input
-  const sim::SignalId stim_out = c.addSignal("stimulus");
-  const sim::SignalId stim_marker = c.addSignal("stim_peak");
-
-  // Stimulus path (Figure 4 / section 3, or the delay line of the
-  // further-work discussion).
-  std::unique_ptr<Dco> dco;
-  std::unique_ptr<FskModulator> modulator;
-  std::unique_ptr<pll::SineFmSource> sine_source;
-  std::unique_ptr<sim::ClockSource> pm_clock;
-  std::unique_ptr<DelayLineModulator> delay_line;
-  double pm_theta_dev_rad = 0.0;
-  StimulusHooks hooks;
-  if (options_.stimulus == StimulusKind::DelayLinePm) {
-    const auto raw_ref = c.addSignal("pm_raw_ref");
-    pm_clock = std::make_unique<sim::ClockSource>(c, raw_ref, 1.0 / pll_config_.ref_frequency_hz);
-    DelayLineModulator::Config dl;
-    dl.taps = options_.pm_taps;
-    dl.tap_delay_s = options_.pm_tap_delay_s > 0.0
-                         ? options_.pm_tap_delay_s
-                         : 1.0 / (8.0 * pll_config_.ref_frequency_hz *
-                                  static_cast<double>(options_.pm_taps - 1));
-    dl.steps = options_.fm_steps;
-    dl.nominal_hz = pll_config_.ref_frequency_hz;
-    delay_line = std::make_unique<DelayLineModulator>(c, raw_ref, stim_out, stim_marker, dl);
-    pm_theta_dev_rad = delay_line->phaseDeviationRad();
-    hooks.start = [&dl_mod = *delay_line](double fm) { dl_mod.start(fm); };
-    hooks.stop = [&dl_mod = *delay_line] { dl_mod.stop(); };
-    hooks.park = [&dl_mod = *delay_line] { dl_mod.stop(); };  // PM has no DC offset
-  } else if (options_.stimulus == StimulusKind::PureSineFm) {
-    pll::SineFmSource::Config scfg;
-    scfg.nominal_hz = pll_config_.ref_frequency_hz;
-    scfg.deviation_hz = 0.0;  // CW until a point starts
-    scfg.modulation_hz = 0.0;
-    sine_source = std::make_unique<pll::SineFmSource>(c, stim_out, stim_marker, scfg);
-    const double carrier = pll_config_.ref_frequency_hz;
-    hooks.start = [this, &src = *sine_source, carrier](double fm) {
-      src.setCarrier(carrier);
-      src.setModulation(fm, options_.deviation_hz);
-    };
-    hooks.stop = [&src = *sine_source, carrier] {
-      src.setModulation(0.0, 0.0);
-      src.setCarrier(carrier);
-    };
-    hooks.park = [this, &src = *sine_source, carrier] {
-      src.setModulation(0.0, 0.0);
-      src.setCarrier(carrier + options_.deviation_hz);
-    };
-  } else {
-    Dco::Config dcfg;
-    dcfg.master_clock_hz = options_.master_clock_hz;
-    dcfg.initial_modulus = std::max(
-        2, static_cast<int>(std::lround(options_.master_clock_hz / pll_config_.ref_frequency_hz)));
-    dco = std::make_unique<Dco>(c, stim_out, dcfg);
-    FskModulator::Config mcfg;
-    mcfg.waveform = options_.stimulus == StimulusKind::TwoToneFsk ? StimulusWaveform::TwoToneFsk
-                                                                  : StimulusWaveform::MultiToneFsk;
-    mcfg.steps = options_.fm_steps;
-    mcfg.nominal_hz = pll_config_.ref_frequency_hz;
-    mcfg.deviation_hz = options_.deviation_hz;
-    modulator = std::make_unique<FskModulator>(c, *dco, stim_marker, mcfg);
-    hooks.start = [&mod = *modulator](double fm) { mod.start(fm); };
-    hooks.stop = [&mod = *modulator] { mod.stop(); };
-    hooks.park = [&mod = *modulator] { mod.park(); };
-  }
-
-  // Device under test with the M1/M2 test muxes.
-  pll::CpPll pll(c, ext_ref, stim_out, pll_config_);
-  pll.setTestMode(true);
-
-  // Response capture (Figure 6/7).
-  PeakDetector peak_detector(c, pll.ref(), pll.feedback(), pll_config_.pfd, PeakDetectorDelays{});
-  TestSequencer sequencer(c, pll, hooks, peak_detector, stim_marker, pll.vcoOut(),
-                          options_.master_clock_hz, options_.sequencer);
+  SweepTestbench bench(pll_config_, options_);
+  if (on_testbench_) on_testbench_(bench);
+  sim::Circuit& c = bench.circuit();
+  TestSequencer& sequencer = bench.sequencer();
 
   // Let the loop acquire lock before measuring anything.
   c.run(options_.lock_wait_s);
 
-  auto waitFor = [&c](bool& flag) {
-    while (!flag) {
-      if (!c.step()) throw AssertionError("BistController: event queue ran dry mid-measurement");
-    }
+  auto waitFor = [&bench](bool& flag) {
+    const Status s = bench.runUntil(flag);
+    if (!s.ok()) throw AssertionError("BistController: " + s.toString());
   };
 
   MeasuredResponse result;
@@ -228,10 +207,12 @@ MeasuredResponse BistController::run() {
       p.deviation_hz = r.held_frequency_hz - result.nominal_vco_hz;
       p.phase_deg = r.phase_deg;
       p.timed_out = r.timed_out;
+      p.quality = r.timed_out ? PointQuality::Dropped : PointQuality::Ok;
+      p.status = r.status;
       if (options_.stimulus == StimulusKind::DelayLinePm) {
         // Input frequency deviation of PM: theta_dev * fm (Hz).
         p.unity_gain_deviation_hz =
-            pm_theta_dev_rad * fm * static_cast<double>(pll_config_.divider_n);
+            bench.pmThetaDevRad() * fm * static_cast<double>(pll_config_.divider_n);
       }
       result.points.push_back(p);
       result.raw.push_back(std::move(r));

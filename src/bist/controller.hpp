@@ -4,10 +4,13 @@
 #include <vector>
 
 #include "bist/sequencer.hpp"
+#include "common/status.hpp"
 #include "control/bode.hpp"
 #include "pll/config.hpp"
 
 namespace pllbist::bist {
+
+class SweepTestbench;
 
 /// How the reference modulation is produced.
 enum class StimulusKind {
@@ -30,8 +33,21 @@ struct SweepOptions {
   double master_clock_hz = 1e6;     ///< DCO master / test clock
   double lock_wait_s = 1.0;         ///< initial lock acquisition time
   double static_settle_s = 1.0;     ///< settle before the DC reference count
+  /// RMS Gaussian edge jitter injected on the reference stimulus
+  /// (PureSineFm only; the DCO paths are noiseless digital dividers).
+  /// 0 disables. Deterministic per jitter_seed.
+  double ref_edge_jitter_rms_s = 0.0;
+  unsigned jitter_seed = 1;
   TestSequencer::Options sequencer;
 
+  /// Structured check of the options alone. Every rejection names the
+  /// offending field and value.
+  [[nodiscard]] Status check() const;
+  /// Cross-checks against the device as well (e.g. the stimulus deviation
+  /// must stay below the reference frequency or the DCO program wraps
+  /// through 0 Hz).
+  [[nodiscard]] Status check(const pll::PllConfig& config) const;
+  /// check().throwIfError() — kept for the exception-based API.
   void validate() const;
 
   /// Log-spaced default sweep for a loop with natural frequency fn_hz.
@@ -45,6 +61,19 @@ struct SweepOptions {
 SweepOptions quickSweepOptions(const pll::PllConfig& config, StimulusKind stimulus,
                                int points = 10);
 
+/// Per-point outcome classification of the reliability layer. A plain
+/// BistController sweep only produces Ok and Dropped (its points get one
+/// attempt); ResilientSweep fills in the full ladder.
+enum class PointQuality {
+  Ok,       ///< measured cleanly on the first attempt
+  Retried,  ///< failed at least once, then measured successfully
+  Degraded, ///< measured, but under abnormal conditions (relock needed, or
+            ///  only after heavy settle/timeout escalation)
+  Dropped,  ///< retry budget exhausted with no usable measurement
+};
+
+[[nodiscard]] const char* to_string(PointQuality quality);
+
 /// One point of the measured closed-loop response.
 struct MeasuredPoint {
   double modulation_hz = 0.0;
@@ -55,6 +84,9 @@ struct MeasuredPoint {
   /// frequency (input frequency deviation = theta_dev * fm).
   double unity_gain_deviation_hz = 0.0;
   bool timed_out = false;
+  PointQuality quality = PointQuality::Ok;
+  int attempts = 1;  ///< measurement attempts consumed (1 = no retries)
+  Status status;     ///< failure reason of the *last* attempt; ok() if measured
 };
 
 /// Result of a sweep, convertible to a BodeResponse: magnitudes referenced
@@ -87,6 +119,11 @@ class BistController {
   /// Optional progress hook, called after each completed point.
   void onPointMeasured(std::function<void(const MeasuredPoint&)> cb) { progress_ = std::move(cb); }
 
+  /// Optional hook fired once the testbench is assembled, before the lock
+  /// wait. Tests and campaigns use it to attach sim-level fault injection
+  /// (testbench.faultInjector()) or extra probes to the private circuit.
+  void onTestbench(std::function<void(SweepTestbench&)> cb) { on_testbench_ = std::move(cb); }
+
   /// Run the sweep. May be called once per controller instance.
   MeasuredResponse run();
 
@@ -94,6 +131,7 @@ class BistController {
   pll::PllConfig pll_config_;
   SweepOptions options_;
   std::function<void(const MeasuredPoint&)> progress_;
+  std::function<void(SweepTestbench&)> on_testbench_;
   bool used_ = false;
 };
 

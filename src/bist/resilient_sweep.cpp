@@ -1,0 +1,269 @@
+#include "bist/resilient_sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "bist/testbench.hpp"
+#include "common/units.hpp"
+
+namespace pllbist::bist {
+
+Status ResilientSweepOptions::check() const {
+  using K = Status::Kind;
+  if (max_attempts < 1)
+    return Status::makef(K::InvalidArgument, "ResilientSweepOptions: max_attempts = %d, must be "
+                         ">= 1", max_attempts);
+  if (settle_backoff < 1.0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: settle_backoff = %g, must be >= 1", settle_backoff);
+  if (gate_backoff < 1.0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: gate_backoff = %g, must be >= 1", gate_backoff);
+  if (relock_grace_periods < 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: relock_grace_periods = %g, must be >= 0",
+                         relock_grace_periods);
+  if (relock_wait_periods <= 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: relock_wait_periods = %g, must be positive",
+                         relock_wait_periods);
+  if (lock_threshold_s < 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: lock_threshold_s = %g, must be >= 0",
+                         lock_threshold_s);
+  if (lock_cycles < 1)
+    return Status::makef(K::InvalidArgument, "ResilientSweepOptions: lock_cycles = %d, must be "
+                         ">= 1", lock_cycles);
+  return Status();
+}
+
+void ResilientSweepOptions::validate() const { check().throwIfError(); }
+
+std::string SweepQualityReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%d points: %d ok, %d retried, %d degraded, %d dropped; %d attempts, "
+                "%d relock%s (%d failed); %.3g s simulated in %.3g s wall",
+                points_total, ok, retried, degraded, dropped, attempts_total, relocks,
+                relocks == 1 ? "" : "s", relock_failures, sim_time_s, wall_time_s);
+  return buf;
+}
+
+namespace {
+
+TestSequencer::Options escalated(const TestSequencer::Options& base,
+                                 const ResilientSweepOptions& r, int attempt) {
+  TestSequencer::Options opt = base;
+  const double f = std::pow(r.settle_backoff, attempt);
+  opt.settle_periods = static_cast<int>(std::ceil(base.settle_periods * f));
+  opt.timeout_periods = base.timeout_periods * f;
+  // The integer ceil on settle can nudge the settle+average floor past the
+  // scaled timeout for near-degenerate bases; keep the watchdog valid.
+  opt.timeout_periods = std::max(
+      opt.timeout_periods, static_cast<double>(opt.settle_periods + base.average_periods) + 1.0);
+  opt.freq_gate_s = base.freq_gate_s * std::pow(r.gate_backoff, attempt);
+  return opt;
+}
+
+}  // namespace
+
+ResilientSweep::ResilientSweep(const pll::PllConfig& config, SweepOptions sweep,
+                               ResilientSweepOptions resilience)
+    : config_(config), sweep_(std::move(sweep)), resilience_(std::move(resilience)) {
+  config_.validate();
+  sweep_.check(config_).throwIfError();
+  resilience_.check().throwIfError();
+}
+
+ResilientResponse ResilientSweep::run() {
+  if (used_) throw std::logic_error("ResilientSweep::run: engine already used");
+  used_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  SweepTestbench bench(config_, sweep_, resilience_.lock_threshold_s, resilience_.lock_cycles);
+  if (on_testbench_) on_testbench_(bench);
+  sim::Circuit& c = bench.circuit();
+  TestSequencer& seq = bench.sequencer();
+  pll::LockDetector& lock = bench.lockDetector();
+  const double fn_hz = radPerSecToHz(config_.secondOrder().omega_n_rad_per_s);
+
+  ResilientResponse out;
+  auto stamp = [&] {
+    out.report.sim_time_s = c.now();
+    out.report.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  };
+  // Step until `flag`, a deadline, or a dry queue.
+  enum class StepOutcome { Done, Deadline, Stall };
+  auto stepUntil = [&](const bool& flag, double deadline_s) {
+    while (!flag) {
+      if (c.now() >= deadline_s) return StepOutcome::Deadline;
+      if (!c.step()) return StepOutcome::Stall;
+    }
+    return StepOutcome::Done;
+  };
+  auto stepUntilLocked = [&](double deadline_s) {
+    while (!lock.isLocked()) {
+      if (c.now() >= deadline_s) return StepOutcome::Deadline;
+      if (!c.step()) return StepOutcome::Stall;
+    }
+    return StepOutcome::Done;
+  };
+  constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+  // Initial acquisition, nominal carrier, and the eqn (7) DC reference.
+  // These are fatal if they stall (nothing downstream is measurable), but a
+  // dead loop merely yields a meaningless nominal — the per-point machinery
+  // below still runs and labels every point.
+  c.run(sweep_.lock_wait_s);
+
+  bool nominal_done = false;
+  seq.measureNominal([&](double hz) {
+    out.response.nominal_vco_hz = hz;
+    nominal_done = true;
+  });
+  if (stepUntil(nominal_done, kNoDeadline) == StepOutcome::Stall) {
+    out.status = Status::makef(Status::Kind::SimulationStall,
+                               "event queue ran dry at t = %g s during the nominal count", c.now());
+    stamp();
+    return out;
+  }
+
+  if (sweep_.stimulus != StimulusKind::DelayLinePm) {
+    bool ref_done = false;
+    seq.measureStaticReference(sweep_.static_settle_s, [&](double hz) {
+      out.response.static_reference_deviation_hz = hz - out.response.nominal_vco_hz;
+      ref_done = true;
+    });
+    if (stepUntil(ref_done, kNoDeadline) == StepOutcome::Stall) {
+      out.status = Status::makef(Status::Kind::SimulationStall,
+                                 "event queue ran dry at t = %g s during the DC reference", c.now());
+      stamp();
+      return out;
+    }
+  }
+
+  const TestSequencer::Options base = seq.options();
+  const double relock_wait_s = resilience_.relock_wait_periods / fn_hz;
+
+  for (std::size_t i = 0; i < sweep_.modulation_frequencies_hz.size(); ++i) {
+    const double fm = sweep_.modulation_frequencies_hz[i];
+    MeasuredPoint p;
+    p.modulation_hz = fm;
+    TestSequencer::PointResult last;
+    bool measured = false;
+    bool relocked = false;
+    bool relock_failed = false;
+    bool fatal_stall = false;
+    int attempts_used = 0;
+
+    for (int attempt = 0; attempt < resilience_.max_attempts; ++attempt) {
+      seq.setOptions(escalated(base, resilience_, attempt));
+      if (on_attempt_start_) on_attempt_start_(i, attempt, bench);
+      ++out.report.attempts_total;
+      attempts_used = attempt + 1;
+
+      bool done = false;
+      seq.measurePoint(fm, [&](TestSequencer::PointResult r) {
+        last = std::move(r);
+        done = true;
+      });
+      if (stepUntil(done, kNoDeadline) == StepOutcome::Stall) {
+        last.timed_out = true;
+        last.status = Status::makef(Status::Kind::SimulationStall,
+                                    "event queue ran dry at t = %g s measuring fm = %g Hz", c.now(),
+                                    fm);
+        fatal_stall = true;
+        break;
+      }
+      if (!last.timed_out) {
+        measured = true;
+        break;
+      }
+
+      // Failed attempt: park the stimulus and make sure the loop is still
+      // alive before burning another attempt. The lock detector is reset
+      // because modulation legitimately widens PFD pulses — only a loop
+      // that stays unlocked past the grace window has actually lost lock.
+      bench.stopStimulus();
+      lock.reset();
+      const StepOutcome grace =
+          stepUntilLocked(c.now() + resilience_.relock_grace_periods / fn_hz);
+      if (grace == StepOutcome::Stall) {
+        fatal_stall = true;
+        break;
+      }
+      if (grace == StepOutcome::Deadline) {
+        // Declared lock loss: bounded relock-and-resume.
+        const StepOutcome relock = stepUntilLocked(c.now() + relock_wait_s);
+        if (relock == StepOutcome::Stall) {
+          fatal_stall = true;
+          break;
+        }
+        if (relock == StepOutcome::Done) {
+          ++out.report.relocks;
+          relocked = true;
+        } else {
+          ++out.report.relock_failures;
+          relock_failed = true;
+          break;  // further attempts are futile on an unlocked loop
+        }
+      }
+    }
+
+    p.attempts = attempts_used;
+    if (measured) {
+      p.deviation_hz = last.held_frequency_hz - out.response.nominal_vco_hz;
+      p.phase_deg = last.phase_deg;
+      p.timed_out = false;
+      if (relocked || attempts_used > 2) {
+        p.quality = PointQuality::Degraded;
+        ++out.report.degraded;
+      } else if (attempts_used == 2) {
+        p.quality = PointQuality::Retried;
+        ++out.report.retried;
+      } else {
+        p.quality = PointQuality::Ok;
+        ++out.report.ok;
+      }
+      if (sweep_.stimulus == StimulusKind::DelayLinePm) {
+        p.unity_gain_deviation_hz =
+            bench.pmThetaDevRad() * fm * static_cast<double>(config_.divider_n);
+      }
+    } else {
+      p.timed_out = true;
+      p.quality = PointQuality::Dropped;
+      ++out.report.dropped;
+      if (relock_failed) {
+        p.status = Status::makef(
+            Status::Kind::RelockFailed,
+            "point %zu (fm = %g Hz): loop failed to re-lock within %g s after a failed attempt; "
+            "last failure: %s",
+            i, fm, relock_wait_s, last.status.toString().c_str());
+      } else if (fatal_stall) {
+        p.status = last.status;
+      } else {
+        p.status = Status::makef(Status::Kind::RetryExhausted,
+                                 "point %zu (fm = %g Hz): all %d attempts failed; last failure: %s",
+                                 i, fm, attempts_used, last.status.toString().c_str());
+      }
+    }
+    ++out.report.points_total;
+    out.response.points.push_back(p);
+    out.response.raw.push_back(std::move(last));
+    if (progress_) progress_(out.response.points.back());
+
+    if (fatal_stall) {
+      out.status = out.response.points.back().status;
+      break;
+    }
+  }
+
+  stamp();
+  return out;
+}
+
+}  // namespace pllbist::bist

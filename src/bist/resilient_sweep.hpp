@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "bist/controller.hpp"
+#include "common/status.hpp"
+#include "pll/config.hpp"
+
+namespace pllbist::bist {
+
+class SweepTestbench;
+
+/// Policy knobs of the retry/relock/degrade layer.
+struct ResilientSweepOptions {
+  /// Measurement attempts per point before it is Dropped.
+  int max_attempts = 3;
+  /// Escalation factor applied to the sequencer's settle_periods and
+  /// timeout_periods on each retry (attempt k runs with backoff^k): a point
+  /// that timed out because the loop settled slowly gets progressively more
+  /// modulation periods to respond.
+  double settle_backoff = 2.0;
+  /// Escalation factor applied to the held-output frequency gate on each
+  /// retry (1.0 = keep the configured gate).
+  double gate_backoff = 1.0;
+  /// After a failed attempt the stimulus is parked and the lock detector
+  /// reset; the loop gets this many natural periods of grace to report lock
+  /// before a lock *loss* is declared. Modulation legitimately widens PFD
+  /// pulses, so an unlocked reading right after stopping is not yet a loss.
+  double relock_grace_periods = 2.0;
+  /// Natural periods to wait for re-lock once a loss is declared. If the
+  /// loop re-locks the event counts as a relock and the point is retried
+  /// (Degraded at best); if not, the point is Dropped with RelockFailed and
+  /// the sweep moves on.
+  double relock_wait_periods = 20.0;
+  /// PFD pulse-width lock threshold; 0 selects the conventional auto
+  /// threshold (2% of the reference period).
+  double lock_threshold_s = 0.0;
+  /// Consecutive quiet PFD cycles required to assert lock.
+  int lock_cycles = 8;
+
+  /// Structured check; every rejection names the offending field and value.
+  [[nodiscard]] Status check() const;
+  /// check().throwIfError() — kept for the exception-based API.
+  void validate() const;
+};
+
+/// Per-sweep quality accounting produced by ResilientSweep.
+struct SweepQualityReport {
+  int points_total = 0;
+  int ok = 0;        ///< clean on the first attempt
+  int retried = 0;   ///< second attempt succeeded, no relock needed
+  int degraded = 0;  ///< measured after a relock or >= 2 retries
+  int dropped = 0;   ///< retry budget exhausted / relock failed
+  int attempts_total = 0;   ///< measurement attempts consumed sweep-wide
+  int relocks = 0;          ///< lock losses recovered by relock-and-resume
+  int relock_failures = 0;  ///< relock waits that expired (point abandoned)
+  double sim_time_s = 0.0;  ///< simulated time consumed by the whole sweep
+  double wall_time_s = 0.0; ///< host wall-clock time of run()
+
+  /// True when every point measured cleanly on its first attempt.
+  [[nodiscard]] bool clean() const { return retried == 0 && degraded == 0 && dropped == 0; }
+  /// Points that produced a usable measurement (everything but Dropped).
+  [[nodiscard]] int usable() const { return ok + retried + degraded; }
+  /// One-line human-readable digest, e.g.
+  /// "7 points: 5 ok, 1 retried, 1 degraded, 0 dropped; 9 attempts,
+  ///  1 relock (0 failed); 1.24 s simulated in 0.48 s wall".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// A MeasuredResponse plus its quality accounting. `status` is only
+/// non-ok for *fatal* conditions that ended the sweep early (the event
+/// queue running dry — SimulationStall); per-point failures are recorded
+/// on the points themselves and leave status ok.
+struct ResilientResponse {
+  MeasuredResponse response;
+  SweepQualityReport report;
+  Status status;
+};
+
+/// The retry/relock/degrade sweep engine. Runs the same Table 2 sequence
+/// as BistController but classifies every point Ok/Retried/Degraded/
+/// Dropped instead of giving each one attempt:
+///
+///   - a timed-out point is retried with escalating settle/timeout
+///     budgets, up to max_attempts;
+///   - after each failed attempt the stimulus is parked and the in-loop
+///     lock detector consulted; a loop that lost lock gets a bounded
+///     relock-and-resume wait before the next attempt;
+///   - a point whose budget is exhausted (or whose loop never re-locks)
+///     is Dropped with a structured Status, and the sweep continues — a
+///     catastrophic device yields a fully-labelled response, never a hang
+///     or a throw.
+class ResilientSweep {
+ public:
+  ResilientSweep(const pll::PllConfig& config, SweepOptions sweep,
+                 ResilientSweepOptions resilience = {});
+
+  /// Fired once the testbench is assembled, before the lock wait. Tests
+  /// and campaigns attach sim-level fault injection here.
+  void onTestbench(std::function<void(SweepTestbench&)> cb) { on_testbench_ = std::move(cb); }
+
+  /// Fired before each measurement attempt (attempt 0 = first try).
+  /// Deterministic hook for per-attempt fault choreography in tests.
+  void onAttemptStart(std::function<void(std::size_t point_index, int attempt, SweepTestbench&)> cb) {
+    on_attempt_start_ = std::move(cb);
+  }
+
+  /// Fired after each point's final classification.
+  void onPointMeasured(std::function<void(const MeasuredPoint&)> cb) { progress_ = std::move(cb); }
+
+  /// Run the sweep. May be called once per instance.
+  ResilientResponse run();
+
+ private:
+  pll::PllConfig config_;
+  SweepOptions sweep_;
+  ResilientSweepOptions resilience_;
+  std::function<void(SweepTestbench&)> on_testbench_;
+  std::function<void(std::size_t, int, SweepTestbench&)> on_attempt_start_;
+  std::function<void(const MeasuredPoint&)> progress_;
+  bool used_ = false;
+};
+
+}  // namespace pllbist::bist

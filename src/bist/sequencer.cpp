@@ -8,16 +8,51 @@
 
 namespace pllbist::bist {
 
-void TestSequencer::Options::validate() const {
-  if (settle_periods < 1) throw std::invalid_argument("TestSequencer: settle_periods must be >= 1");
-  if (average_periods < 1) throw std::invalid_argument("TestSequencer: average_periods must be >= 1");
-  if (freq_gate_s <= 0.0) throw std::invalid_argument("TestSequencer: gate must be positive");
+namespace {
+const char* stageName(TestSequencer::Stage stage) {
+  switch (stage) {
+    case TestSequencer::Stage::Idle: return "idle";
+    case TestSequencer::Stage::Settle: return "settle";
+    case TestSequencer::Stage::PhaseMeasure: return "phase-measure";
+    case TestSequencer::Stage::AwaitPeakForHold: return "await-peak-for-hold";
+    case TestSequencer::Stage::HoldCount: return "hold-count";
+  }
+  return "unknown";
+}
+}  // namespace
+
+Status TestSequencer::Options::check() const {
+  using K = Status::Kind;
+  if (settle_periods < 1)
+    return Status::makef(K::InvalidArgument, "TestSequencer: settle_periods = %d, must be >= 1",
+                         settle_periods);
+  if (average_periods < 1)
+    return Status::makef(K::InvalidArgument, "TestSequencer: average_periods = %d, must be >= 1",
+                         average_periods);
+  if (freq_gate_s <= 0.0)
+    return Status::makef(K::InvalidArgument, "TestSequencer: freq_gate_s = %g, must be positive",
+                         freq_gate_s);
   if (hold_to_gate_delay_s < 0.0)
-    throw std::invalid_argument("TestSequencer: hold_to_gate_delay must be >= 0");
+    return Status::makef(K::InvalidArgument,
+                         "TestSequencer: hold_to_gate_delay_s = %g, must be >= 0",
+                         hold_to_gate_delay_s);
   if (timeout_periods <= static_cast<double>(settle_periods + average_periods))
-    throw std::invalid_argument("TestSequencer: timeout must exceed settle+average periods");
+    return Status::makef(K::InvalidArgument,
+                         "TestSequencer: timeout_periods = %g must exceed settle+average = %d",
+                         timeout_periods, settle_periods + average_periods);
   if (peak_qualify_fraction < 0.0 || peak_qualify_fraction >= 0.5)
-    throw std::invalid_argument("TestSequencer: peak_qualify_fraction must be in [0, 0.5)");
+    return Status::makef(K::InvalidArgument,
+                         "TestSequencer: peak_qualify_fraction = %g, must be in [0, 0.5)",
+                         peak_qualify_fraction);
+  return Status();
+}
+
+void TestSequencer::Options::validate() const { check().throwIfError(); }
+
+void TestSequencer::setOptions(const Options& options) {
+  if (stage_ != Stage::Idle) throw std::logic_error("TestSequencer::setOptions: sequencer busy");
+  options.validate();
+  options_ = options;
 }
 
 TestSequencer::TestSequencer(sim::Circuit& c, pll::CpPll& pll, StimulusHooks stimulus,
@@ -63,6 +98,12 @@ void TestSequencer::measurePoint(double modulation_hz, std::function<void(PointR
   circuit_.scheduleCallback(deadline, [this, id](double now) {
                               if (id != sequence_id_ || stage_ == Stage::Idle) return;
                               current_.timed_out = true;
+                              current_.status = Status::makef(
+                                  Status::Kind::Timeout,
+                                  "point watchdog fired at t = %g s in stage %s (fm = %g Hz, "
+                                  "%zu/%d phase captures)",
+                                  now, stageName(stage_), current_.modulation_hz,
+                                  current_.phase_counts.size(), options_.average_periods);
                               finish(now);
                             });
 }

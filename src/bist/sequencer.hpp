@@ -5,6 +5,7 @@
 
 #include "bist/counters.hpp"
 #include "bist/peak_detector.hpp"
+#include "common/status.hpp"
 #include "pll/cppll.hpp"
 #include "sim/circuit.hpp"
 
@@ -47,6 +48,9 @@ class TestSequencer {
     /// also flip MFREQ; only the fundamental produces a high run of ~half a
     /// period. A small counter implements this on chip. 0 disables.
     double peak_qualify_fraction = 0.15;
+    /// Structured check; empty context on success.
+    [[nodiscard]] Status check() const;
+    /// check().throwIfError() — kept for the exception-based API.
     void validate() const;
   };
 
@@ -59,6 +63,9 @@ class TestSequencer {
     double gate_s = 0.0;
     double hold_time_s = 0.0;           ///< when hold engaged
     bool timed_out = false;             ///< watchdog fired (dead/deaf loop)
+    /// Why the point failed (Timeout with the stage and deadline it died
+    /// in); ok() for a clean measurement.
+    Status status;
   };
 
   enum class Stage { Idle, Settle, PhaseMeasure, AwaitPeakForHold, HoldCount };
@@ -89,6 +96,11 @@ class TestSequencer {
 
   [[nodiscard]] Stage stage() const { return stage_; }
   [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Re-program the sequencer between points (the retry layer escalates
+  /// settle/timeout/gate on each attempt). Throws std::logic_error when a
+  /// point is in flight, std::invalid_argument on bad options.
+  void setOptions(const Options& options);
 
  private:
   void handleStimulusPeak(double now);

@@ -14,17 +14,32 @@
 
 namespace pllbist::bist {
 
-void StepTestOptions::validate() const {
+Status StepTestOptions::check() const {
+  using K = Status::Kind;
   if (step_fraction <= 0.0 || step_fraction >= 0.2)
-    throw std::invalid_argument("StepTestOptions: step fraction must be in (0, 0.2)");
-  if (lock_wait_s <= 0.0) throw std::invalid_argument("StepTestOptions: lock wait must be positive");
-  if (freq_gate_s <= 0.0) throw std::invalid_argument("StepTestOptions: gate must be positive");
+    return Status::makef(K::InvalidArgument, "StepTestOptions: step_fraction = %g, must be in "
+                         "(0, 0.2)", step_fraction);
+  if (lock_wait_s <= 0.0)
+    return Status::makef(K::InvalidArgument, "StepTestOptions: lock_wait_s = %g, must be positive",
+                         lock_wait_s);
+  if (freq_gate_s <= 0.0)
+    return Status::makef(K::InvalidArgument, "StepTestOptions: freq_gate_s = %g, must be positive",
+                         freq_gate_s);
   if (hold_to_gate_delay_s < 0.0)
-    throw std::invalid_argument("StepTestOptions: hold-to-gate delay must be >= 0");
+    return Status::makef(K::InvalidArgument,
+                         "StepTestOptions: hold_to_gate_delay_s = %g, must be >= 0",
+                         hold_to_gate_delay_s);
   if (min_peak_run_s < 0.0 || lock_threshold_s < 0.0 || timeout_s < 0.0)
-    throw std::invalid_argument("StepTestOptions: auto parameters must be >= 0");
-  if (lock_cycles < 1) throw std::invalid_argument("StepTestOptions: lock cycles must be >= 1");
+    return Status::make(K::InvalidArgument,
+                        "StepTestOptions: auto parameters (min_peak_run_s, lock_threshold_s, "
+                        "timeout_s) must be >= 0");
+  if (lock_cycles < 1)
+    return Status::makef(K::InvalidArgument, "StepTestOptions: lock_cycles = %d, must be >= 1",
+                         lock_cycles);
+  return Status();
 }
+
+void StepTestOptions::validate() const { check().throwIfError(); }
 
 StepTestResult runStepTest(const pll::PllConfig& config, const StepTestOptions& options) {
   config.validate();
@@ -111,11 +126,26 @@ StepTestResult runStepTest(const pll::PllConfig& config, const StepTestOptions& 
   result.peak_detected = peak_done;
   if (!peak_done && pll.holdAsserted()) pll.setHold(false);
 
-  // 3. Wait for re-lock, then count the settled target.
+  // 3. Wait for re-lock, then count the settled target. Same watchdog
+  // discipline as the peak stage: a loop that never re-locks (dead, railed,
+  // or chattering) terminates the test with a recorded reason instead of
+  // hanging or silently truncating the result.
+  const double relock_deadline = step_time + 2.0 * timeout;
   while (!lock.isLocked()) {
-    if (!c.step()) throw AssertionError("runStepTest: event queue ran dry");
-    if (c.now() - step_time > 2.0 * timeout) {
+    if (!c.step()) {
       result.timed_out = true;
+      result.status = Status::makef(
+          Status::Kind::SimulationStall,
+          "runStepTest: event queue ran dry at t = %g s while waiting for re-lock", c.now());
+      return result;
+    }
+    if (c.now() > relock_deadline) {
+      result.timed_out = true;
+      result.status = Status::makef(
+          Status::Kind::Timeout,
+          "runStepTest: loop failed to re-lock within %g s of the step (watchdog = 2x "
+          "timeout; peak %sdetected)",
+          relock_deadline - step_time, result.peak_detected ? "" : "not ");
       return result;
     }
   }

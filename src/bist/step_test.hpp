@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "common/status.hpp"
 #include "pll/config.hpp"
 
 namespace pllbist::bist {
@@ -33,6 +34,9 @@ struct StepTestOptions {
   int lock_cycles = 8;
   double timeout_s = 0.0;          ///< watchdog; 0 = auto
 
+  /// Structured check; Status::ok() when the options are usable.
+  [[nodiscard]] Status check() const;
+  /// check().throwIfError() — kept for the exception-based API.
   void validate() const;
 };
 
@@ -45,6 +49,12 @@ struct StepTestResult {
   double relock_time_s = 0.0;     ///< step -> lock-detector assertion
   bool peak_detected = false;     ///< false for overdamped loops (no reversal)
   bool timed_out = false;         ///< loop never re-locked
+
+  /// Why the test aborted early (Timeout with the deadline and what the
+  /// loop was doing; SimulationStall when the event queue ran dry during
+  /// re-lock). ok() for a complete run — including the legitimate
+  /// no-overshoot outcome of overdamped loops.
+  Status status;
 
   /// Loop parameters from the transient: zeta from overshoot, fn from the
   /// damped peak time t_p = pi/(wn*sqrt(1-zeta^2)). Empty when the

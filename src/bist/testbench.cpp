@@ -1,0 +1,110 @@
+#include "bist/testbench.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace pllbist::bist {
+
+SweepTestbench::SweepTestbench(const pll::PllConfig& config, const SweepOptions& options,
+                               double lock_threshold_s, int lock_cycles)
+    : config_(config), options_(options) {
+  config_.validate();
+  options_.check(config_).throwIfError();
+
+  ext_ref_ = circuit_.addSignal("ext_ref");  // unused normal-mode input
+  stim_out_ = circuit_.addSignal("stimulus");
+  stim_marker_ = circuit_.addSignal("stim_peak");
+
+  // Stimulus path (Figure 4 / section 3, or the delay line of the
+  // further-work discussion).
+  if (options_.stimulus == StimulusKind::DelayLinePm) {
+    const auto raw_ref = circuit_.addSignal("pm_raw_ref");
+    pm_clock_ = std::make_unique<sim::ClockSource>(circuit_, raw_ref,
+                                                   1.0 / config_.ref_frequency_hz);
+    DelayLineModulator::Config dl;
+    dl.taps = options_.pm_taps;
+    dl.tap_delay_s = options_.pm_tap_delay_s > 0.0
+                         ? options_.pm_tap_delay_s
+                         : 1.0 / (8.0 * config_.ref_frequency_hz *
+                                  static_cast<double>(options_.pm_taps - 1));
+    dl.steps = options_.fm_steps;
+    dl.nominal_hz = config_.ref_frequency_hz;
+    delay_line_ =
+        std::make_unique<DelayLineModulator>(circuit_, raw_ref, stim_out_, stim_marker_, dl);
+    pm_theta_dev_rad_ = delay_line_->phaseDeviationRad();
+    hooks_.start = [this](double fm) { delay_line_->start(fm); };
+    hooks_.stop = [this] { delay_line_->stop(); };
+    hooks_.park = [this] { delay_line_->stop(); };  // PM has no DC offset
+  } else if (options_.stimulus == StimulusKind::PureSineFm) {
+    pll::SineFmSource::Config scfg;
+    scfg.nominal_hz = config_.ref_frequency_hz;
+    scfg.deviation_hz = 0.0;  // CW until a point starts
+    scfg.modulation_hz = 0.0;
+    scfg.edge_jitter_rms_s = options_.ref_edge_jitter_rms_s;
+    scfg.jitter_seed = options_.jitter_seed;
+    sine_source_ = std::make_unique<pll::SineFmSource>(circuit_, stim_out_, stim_marker_, scfg);
+    hooks_.start = [this](double fm) {
+      sine_source_->setCarrier(config_.ref_frequency_hz);
+      sine_source_->setModulation(fm, options_.deviation_hz);
+    };
+    hooks_.stop = [this] {
+      sine_source_->setModulation(0.0, 0.0);
+      sine_source_->setCarrier(config_.ref_frequency_hz);
+    };
+    hooks_.park = [this] {
+      sine_source_->setModulation(0.0, 0.0);
+      sine_source_->setCarrier(config_.ref_frequency_hz + options_.deviation_hz);
+    };
+  } else {
+    Dco::Config dcfg;
+    dcfg.master_clock_hz = options_.master_clock_hz;
+    dcfg.initial_modulus = std::max(
+        2, static_cast<int>(std::lround(options_.master_clock_hz / config_.ref_frequency_hz)));
+    dco_ = std::make_unique<Dco>(circuit_, stim_out_, dcfg);
+    FskModulator::Config mcfg;
+    mcfg.waveform = options_.stimulus == StimulusKind::TwoToneFsk ? StimulusWaveform::TwoToneFsk
+                                                                  : StimulusWaveform::MultiToneFsk;
+    mcfg.steps = options_.fm_steps;
+    mcfg.nominal_hz = config_.ref_frequency_hz;
+    mcfg.deviation_hz = options_.deviation_hz;
+    modulator_ = std::make_unique<FskModulator>(circuit_, *dco_, stim_marker_, mcfg);
+    hooks_.start = [this](double fm) { modulator_->start(fm); };
+    hooks_.stop = [this] { modulator_->stop(); };
+    hooks_.park = [this] { modulator_->park(); };
+  }
+
+  // Device under test with the M1/M2 test muxes.
+  pll_ = std::make_unique<pll::CpPll>(circuit_, ext_ref_, stim_out_, config_);
+  pll_->setTestMode(true);
+
+  // Response capture (Figure 6/7) plus the lock detector the reliability
+  // layer uses for relock-and-resume.
+  peak_detector_ = std::make_unique<PeakDetector>(circuit_, pll_->ref(), pll_->feedback(),
+                                                  config_.pfd, PeakDetectorDelays{});
+  const double threshold =
+      lock_threshold_s > 0.0 ? lock_threshold_s : 0.02 / config_.ref_frequency_hz;
+  lock_ = std::make_unique<pll::LockDetector>(circuit_, pll_->pfdUp(), pll_->pfdDn(), threshold,
+                                              lock_cycles);
+  sequencer_ = std::make_unique<TestSequencer>(circuit_, *pll_, hooks_, *peak_detector_,
+                                               stim_marker_, pll_->vcoOut(),
+                                               options_.master_clock_hz, options_.sequencer);
+}
+
+sim::FaultInjector& SweepTestbench::faultInjector(uint64_t seed) {
+  if (!injector_) injector_ = std::make_unique<sim::FaultInjector>(circuit_, seed);
+  return *injector_;
+}
+
+sim::SignalId SweepTestbench::mfreq() const { return peak_detector_->mfreq(); }
+
+Status SweepTestbench::runUntil(const bool& flag) {
+  while (!flag) {
+    if (!circuit_.step())
+      return Status::makef(Status::Kind::SimulationStall,
+                           "event queue ran dry at t = %g s mid-measurement", circuit_.now());
+  }
+  return Status();
+}
+
+}  // namespace pllbist::bist

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pllbist {
+
+/// Structured error taxonomy for the measurement stack. A Status is a kind
+/// (machine-checkable) plus a context string (human-readable: which knob,
+/// which point, which deadline). It replaces the exceptions-or-nothing
+/// reporting of the early sweep engine: configuration checks return a
+/// Status, per-point results carry one, and the sweep quality report rolls
+/// them up — so a BIST run on hostile silicon degrades with a recorded
+/// reason instead of throwing or silently truncating.
+///
+/// Exceptions remain at the public API boundary only: `validate()` helpers
+/// call `throwIfError()`, which maps InvalidArgument back onto
+/// std::invalid_argument so existing callers keep their contract.
+class Status {
+ public:
+  enum class Kind {
+    Ok,               ///< no error
+    InvalidArgument,  ///< configuration rejected (maps to std::invalid_argument)
+    Timeout,          ///< a watchdog fired (dead / deaf / stuck loop)
+    LockLost,         ///< the PLL lost lock mid-measurement
+    RelockFailed,     ///< a relock attempt exhausted its deadline
+    RetryExhausted,   ///< a point used up its retry budget without success
+    SimulationStall,  ///< the event queue ran dry mid-measurement
+    NoValidPoints,    ///< a sweep finished but produced no usable points
+    Degraded,         ///< completed, but with retried/degraded/dropped points
+    Internal,         ///< invariant violation (bug)
+  };
+
+  Status() = default;  ///< Ok
+
+  [[nodiscard]] static Status make(Kind kind, std::string context) {
+    Status s;
+    s.kind_ = kind;
+    s.context_ = std::move(context);
+    return s;
+  }
+
+  /// printf-style constructor so call sites can embed the offending value
+  /// ("modulation_frequencies_hz[3] = 120 <= [2] = 450") without verbose
+  /// string stitching.
+  [[nodiscard]] __attribute__((format(printf, 2, 3))) static Status makef(Kind kind,
+                                                                          const char* fmt, ...) {
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return make(kind, buf);
+  }
+
+  [[nodiscard]] bool ok() const { return kind_ == Kind::Ok; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+  /// "timeout: watchdog fired after 40 modulation periods (fm = 450 Hz)"
+  [[nodiscard]] std::string toString() const {
+    if (ok()) return "ok";
+    std::string out = kindName(kind_);
+    if (!context_.empty()) {
+      out += ": ";
+      out += context_;
+    }
+    return out;
+  }
+
+  /// Bridge to the exception-based public API. InvalidArgument keeps its
+  /// historical exception type; everything else surfaces as runtime_error.
+  void throwIfError() const {
+    if (ok()) return;
+    if (kind_ == Kind::InvalidArgument) throw std::invalid_argument(toString());
+    throw std::runtime_error(toString());
+  }
+
+  [[nodiscard]] static const char* kindName(Kind kind) {
+    switch (kind) {
+      case Kind::Ok: return "ok";
+      case Kind::InvalidArgument: return "invalid-argument";
+      case Kind::Timeout: return "timeout";
+      case Kind::LockLost: return "lock-lost";
+      case Kind::RelockFailed: return "relock-failed";
+      case Kind::RetryExhausted: return "retry-exhausted";
+      case Kind::SimulationStall: return "simulation-stall";
+      case Kind::NoValidPoints: return "no-valid-points";
+      case Kind::Degraded: return "degraded";
+      case Kind::Internal: return "internal";
+    }
+    return "unknown";
+  }
+
+ private:
+  Kind kind_ = Kind::Ok;
+  std::string context_;
+};
+
+[[nodiscard]] inline const char* to_string(Status::Kind kind) { return Status::kindName(kind); }
+
+}  // namespace pllbist

@@ -1,5 +1,8 @@
 #include "core/measurement.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 #include "common/units.hpp"
 #include "control/grid.hpp"
 
@@ -31,6 +34,33 @@ MeasurementResult TransferFunctionMeasurement::runBist(const bist::SweepOptions&
 MeasurementResult TransferFunctionMeasurement::runBist(bist::StimulusKind stimulus,
                                                        int points) const {
   return runBist(defaultSweepOptions(stimulus, points));
+}
+
+MeasurementResult TransferFunctionMeasurement::runResilient(
+    const bist::SweepOptions& options, const bist::ResilientSweepOptions& resilience) const {
+  bist::ResilientSweep engine(config_, options, resilience);
+  bist::ResilientResponse resilient = engine.run();
+  MeasurementResult result;
+  result.sweep = std::move(resilient.response);
+  result.quality = resilient.report;
+  result.status = resilient.status;
+  if (result.quality.usable() == 0) {
+    if (result.status.ok())
+      result.status = Status::makef(Status::Kind::NoValidPoints,
+                                    "all %d sweep points dropped, no response to fit",
+                                    result.quality.points_total);
+    return result;
+  }
+  try {
+    result.bode = result.sweep.toBode();
+    result.parameters = bist::extractParameters(result.bode);
+  } catch (const std::domain_error& e) {
+    // Survivable points without a usable reference deviation (e.g. the DC
+    // reference itself was measured against a railed loop).
+    if (result.status.ok())
+      result.status = Status::make(Status::Kind::NoValidPoints, e.what());
+  }
+  return result;
 }
 
 baseline::BenchResult TransferFunctionMeasurement::runBench(

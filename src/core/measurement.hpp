@@ -3,17 +3,27 @@
 #include "baseline/bench_measurement.hpp"
 #include "bist/analysis.hpp"
 #include "bist/controller.hpp"
+#include "bist/resilient_sweep.hpp"
+#include "common/status.hpp"
 #include "control/bode.hpp"
 #include "pll/config.hpp"
 
 namespace pllbist::core {
 
 /// One complete transfer-function measurement: the raw sweep, the eqn (7)
-/// referenced Bode response, and the extracted loop parameters.
+/// referenced Bode response, the extracted loop parameters, and — for
+/// resilient runs — the per-sweep quality accounting.
 struct MeasurementResult {
   bist::MeasuredResponse sweep;
   control::BodeResponse bode;
   bist::ExtractedParameters parameters;
+  /// Retry/relock/drop accounting. All-zero for plain runBist() sweeps.
+  bist::SweepQualityReport quality;
+  /// Ok when the Bode response and parameters are populated; NoValidPoints
+  /// when too few points survived to form a response (resilient runs never
+  /// throw on a dead device), or the fatal sweep status. Plain runBist()
+  /// throws instead.
+  Status status;
 };
 
 /// High-level facade over the BIST and the bench baseline. Owns nothing
@@ -31,6 +41,13 @@ class TransferFunctionMeasurement {
   /// response (sweep around the design fn, given stimulus kind).
   [[nodiscard]] MeasurementResult runBist(
       bist::StimulusKind stimulus = bist::StimulusKind::MultiToneFsk, int points = 12) const;
+
+  /// Run the measurement through the retry/relock/degrade layer. Unlike
+  /// runBist this never throws on a sick device: dropped points are
+  /// excluded from the Bode fit, the quality report records what happened,
+  /// and `status` is NoValidPoints when nothing usable survived.
+  [[nodiscard]] MeasurementResult runResilient(
+      const bist::SweepOptions& options, const bist::ResilientSweepOptions& resilience = {}) const;
 
   /// Run the conventional bench measurement baseline (analog access).
   [[nodiscard]] baseline::BenchResult runBench(const baseline::BenchOptions& options) const;

@@ -26,8 +26,11 @@
 #include "bist/delay_line.hpp"
 #include "bist/modulator.hpp"
 #include "bist/peak_detector.hpp"
+#include "bist/resilient_sweep.hpp"
 #include "bist/sequencer.hpp"
 #include "bist/step_test.hpp"
+#include "bist/testbench.hpp"
+#include "common/status.hpp"
 #include "common/units.hpp"
 #include "control/bode.hpp"
 #include "control/cppll_model.hpp"

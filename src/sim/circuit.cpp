@@ -71,6 +71,19 @@ void Circuit::execute(Event& ev) {
     ev.callback(now_);
     return;
   }
+  if (interceptor_) {
+    const InterceptVerdict verdict = interceptor_(ev.signal, now_, ev.value);
+    switch (verdict.action) {
+      case InterceptVerdict::Action::Deliver:
+        break;
+      case InterceptVerdict::Action::Drop:
+        return;
+      case InterceptVerdict::Action::Delay:
+        PLLBIST_ASSERT(verdict.delay_s > 0.0);
+        scheduleSet(ev.signal, now_ + verdict.delay_s, ev.value);
+        return;
+    }
+  }
   SignalState& sig = signals_[static_cast<size_t>(ev.signal)];
   if (sig.value == ev.value) return;  // swallowed (no change)
   sig.value = ev.value;

@@ -33,6 +33,27 @@ class Circuit {
   using EdgeCallback = std::function<void(double now)>;
   using ChangeCallback = std::function<void(double now, bool value)>;
 
+  /// Verdict returned by an installed event interceptor for one scheduled
+  /// signal transition (pure callback events are never intercepted).
+  struct InterceptVerdict {
+    enum class Action {
+      Deliver,  ///< apply the transition normally
+      Drop,     ///< swallow it (the edge never happens)
+      Delay,    ///< re-enqueue it `delay_s` later (> 0)
+    };
+    Action action = Action::Deliver;
+    double delay_s = 0.0;
+  };
+
+  /// Consulted at delivery time for every signal transition while
+  /// installed. This is the sim-level fault-injection seam (see
+  /// sim::FaultInjector): dropping a transition models a missed edge,
+  /// delaying it models a marginal path. At most one interceptor can be
+  /// installed; pass nullptr to uninstall. Zero overhead when unset.
+  using EventInterceptor = std::function<InterceptVerdict(SignalId id, double now, bool value)>;
+  void setEventInterceptor(EventInterceptor interceptor) { interceptor_ = std::move(interceptor); }
+  [[nodiscard]] bool hasEventInterceptor() const { return static_cast<bool>(interceptor_); }
+
   Circuit() = default;
   Circuit(const Circuit&) = delete;
   Circuit& operator=(const Circuit&) = delete;
@@ -98,6 +119,7 @@ class Circuit {
   void checkId(SignalId id) const;
 
   std::vector<SignalState> signals_;
+  EventInterceptor interceptor_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   double now_ = 0.0;
   uint64_t next_seq_ = 0;

@@ -4,10 +4,15 @@
 
 #include "bist/controller.hpp"
 #include "bist/peak_detector.hpp"
+#include "bist/resilient_sweep.hpp"
 #include "bist/sequencer.hpp"
+#include "bist/testbench.hpp"
 #include "common/units.hpp"
+#include "core/measurement.hpp"
 #include "pll/cppll.hpp"
+#include "pll/faults.hpp"
 #include "pll/sources.hpp"
+#include "sim/fault_injector.hpp"
 #include "support/test_configs.hpp"
 
 namespace pllbist::bist {
@@ -113,6 +118,193 @@ TEST(Robustness, PumpTopologiesAgreeOnTheResponse) {
     EXPECT_NEAR(v.points()[k].magnitude_db, i.points()[k].magnitude_db, 1.5) << f;
     EXPECT_NEAR(v.points()[k].phase_deg, i.points()[k].phase_deg, 15.0) << f;
   }
+}
+
+/// Two-point sweep sized for the resilient-layer tests: in-band and
+/// above-band, short enough that retry escalation stays affordable.
+SweepOptions resilientTestOptions() {
+  SweepOptions opt = fastSweepOptions(StimulusKind::MultiToneFsk, 4);
+  opt.modulation_frequencies_hz = {200.0, 400.0};
+  return opt;
+}
+
+/// A healthy device through the resilient layer: every point Ok on its
+/// first attempt, clean report, no relocks.
+TEST(ResilientSweepEngine, CleanDeviceYieldsAllOkPoints) {
+  ResilientSweep engine(fastTestConfig(), resilientTestOptions());
+  const ResilientResponse r = engine.run();
+  EXPECT_TRUE(r.status.ok()) << r.status.toString();
+  ASSERT_EQ(r.response.points.size(), 2u);
+  for (const MeasuredPoint& p : r.response.points) {
+    EXPECT_EQ(p.quality, PointQuality::Ok) << to_string(p.quality);
+    EXPECT_EQ(p.attempts, 1);
+    EXPECT_TRUE(p.status.ok()) << p.status.toString();
+  }
+  EXPECT_TRUE(r.report.clean());
+  EXPECT_EQ(r.report.points_total, 2);
+  EXPECT_EQ(r.report.ok, 2);
+  EXPECT_EQ(r.report.attempts_total, 2);
+  EXPECT_EQ(r.report.relocks, 0);
+  EXPECT_GT(r.report.sim_time_s, 0.0);
+  EXPECT_NE(r.report.summary().find("2 points"), std::string::npos) << r.report.summary();
+}
+
+/// On a healthy device the resilient engine must measure the same response
+/// as the plain one-shot controller (attempt 0 runs with the base budgets).
+TEST(ResilientSweepEngine, MatchesPlainControllerOnHealthyDevice) {
+  BistController plain(fastTestConfig(), resilientTestOptions());
+  const MeasuredResponse a = plain.run();
+  ResilientSweep engine(fastTestConfig(), resilientTestOptions());
+  const MeasuredResponse b = engine.run().response;
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_NEAR(a.points[i].deviation_hz, b.points[i].deviation_hz, 1e-6) << i;
+    EXPECT_NEAR(a.points[i].phase_deg, b.points[i].phase_deg, 1e-6) << i;
+  }
+}
+
+/// A stuck peak detector for the first attempt of the first point (every
+/// MAXFREQ edge dropped): the point must time out once, then measure
+/// cleanly on the retry — classified Retried, not Dropped.
+TEST(ResilientSweepEngine, StuckPeakDetectorEdgeIsRetried) {
+  ResilientSweepOptions rs;
+  rs.max_attempts = 3;
+  rs.settle_backoff = 1.5;
+  ResilientSweep engine(fastTestConfig(), resilientTestOptions(), rs);
+  engine.onAttemptStart([](std::size_t point, int attempt, SweepTestbench& tb) {
+    sim::FaultInjector& inj = tb.faultInjector(99);
+    inj.clearRules();
+    if (point == 0 && attempt == 0) inj.stickSignal(tb.mfreq(), tb.circuit().now());
+  });
+  const ResilientResponse r = engine.run();
+  EXPECT_TRUE(r.status.ok()) << r.status.toString();
+  ASSERT_EQ(r.response.points.size(), 2u);
+  EXPECT_EQ(r.response.points[0].quality, PointQuality::Retried);
+  EXPECT_EQ(r.response.points[0].attempts, 2);
+  EXPECT_FALSE(r.response.points[0].timed_out);
+  EXPECT_TRUE(r.response.points[0].status.ok());
+  EXPECT_EQ(r.response.points[1].quality, PointQuality::Ok);
+  EXPECT_EQ(r.report.retried, 1);
+  EXPECT_EQ(r.report.ok, 1);
+  EXPECT_EQ(r.report.dropped, 0);
+  EXPECT_EQ(r.report.attempts_total, 3);
+}
+
+/// A dead reference during the first attempt (the stimulus net stuck, so
+/// the PFD sees no edges and the loop rails): the attempt times out, the
+/// lock loss is detected, the loop re-locks within the bounded wait, and
+/// the point is re-measured — classified Degraded, with the relock counted.
+TEST(ResilientSweepEngine, LockLossIsRelockedAndResumed) {
+  ResilientSweepOptions rs;
+  rs.max_attempts = 3;
+  rs.relock_wait_periods = 100.0;  // railed VCO: allow a generous reacquisition
+  ResilientSweep engine(fastTestConfig(), resilientTestOptions(), rs);
+  engine.onAttemptStart([](std::size_t point, int attempt, SweepTestbench& tb) {
+    sim::FaultInjector& inj = tb.faultInjector(7);
+    inj.clearRules();
+    if (point == 0 && attempt == 0) {
+      const double now = tb.circuit().now();
+      inj.stickSignal(tb.stimulusOut(), now, now + 0.4);  // covers the watchdog window
+    }
+  });
+  const ResilientResponse r = engine.run();
+  EXPECT_TRUE(r.status.ok()) << r.status.toString();
+  ASSERT_EQ(r.response.points.size(), 2u);
+  EXPECT_EQ(r.response.points[0].quality, PointQuality::Degraded)
+      << to_string(r.response.points[0].quality) << " " << r.response.points[0].status.toString();
+  EXPECT_FALSE(r.response.points[0].timed_out);
+  EXPECT_GE(r.response.points[0].attempts, 2);
+  EXPECT_EQ(r.response.points[1].quality, PointQuality::Ok);
+  EXPECT_EQ(r.report.relocks, 1);
+  EXPECT_EQ(r.report.relock_failures, 0);
+  EXPECT_EQ(r.report.degraded, 1);
+  EXPECT_EQ(r.report.dropped, 0);
+}
+
+/// A peak detector stuck for every attempt of one point: the retry budget
+/// exhausts, the point is Dropped with RetryExhausted — and the sweep still
+/// returns, with the other point measured cleanly.
+TEST(ResilientSweepEngine, ExhaustedRetryBudgetDropsPointOnly) {
+  ResilientSweepOptions rs;
+  rs.max_attempts = 2;
+  rs.settle_backoff = 1.5;
+  ResilientSweep engine(fastTestConfig(), resilientTestOptions(), rs);
+  engine.onAttemptStart([](std::size_t point, int /*attempt*/, SweepTestbench& tb) {
+    sim::FaultInjector& inj = tb.faultInjector(3);
+    inj.clearRules();
+    if (point == 0) inj.stickSignal(tb.mfreq(), tb.circuit().now());
+  });
+  const ResilientResponse r = engine.run();
+  EXPECT_TRUE(r.status.ok()) << r.status.toString();
+  ASSERT_EQ(r.response.points.size(), 2u);
+  const MeasuredPoint& dropped = r.response.points[0];
+  EXPECT_EQ(dropped.quality, PointQuality::Dropped);
+  EXPECT_TRUE(dropped.timed_out);
+  EXPECT_EQ(dropped.attempts, 2);
+  EXPECT_EQ(dropped.status.kind(), Status::Kind::RetryExhausted) << dropped.status.toString();
+  EXPECT_EQ(r.response.points[1].quality, PointQuality::Ok);
+  EXPECT_EQ(r.report.dropped, 1);
+  EXPECT_EQ(r.report.ok, 1);
+  EXPECT_EQ(r.report.attempts_total, 3);
+  // The dropped point is excluded from the Bode conversion, which still
+  // works off the surviving point.
+  EXPECT_EQ(r.response.toBode().size(), 1u);
+}
+
+/// The acceptance scenario: a catastrophic device (feedback divider counts
+/// 25 instead of 10, so the loop rails against the VCO clamp and never
+/// locks) plus active sim-level fault injection. The sweep must complete in
+/// bounded time without throwing, label every point, and account for the
+/// failed relocks.
+TEST(ResilientSweepEngine, CatastrophicDeviceCompletesFullyLabelled) {
+  const pll::PllConfig sick =
+      pll::applyFault(fastTestConfig(), {pll::FaultSpec::Kind::DividerWrongN, 25.0});
+  ResilientSweepOptions rs;
+  rs.max_attempts = 2;
+  rs.relock_wait_periods = 10.0;  // a railed loop never relocks; keep the wait short
+  ResilientSweep engine(sick, resilientTestOptions(), rs);
+  uint64_t injected_drops = 0;
+  engine.onTestbench([](SweepTestbench& tb) {
+    // Background injection on top of the hard fault: a quarter of the peak
+    // detector's MFREQ transitions lost. (Dropping *reference* edges would
+    // actually revive a railed PFD — a missing ref edge lets the feedback
+    // lead and fakes a MAXFREQ event — so the deaf-detector fault is the
+    // one that composes with a dead loop.) The engine must stay bounded.
+    tb.faultInjector(11).dropEdges(tb.mfreq(), 0.25);
+  });
+  engine.onAttemptStart([&](std::size_t, int, SweepTestbench& tb) {
+    injected_drops = tb.faultInjector().stats().dropped;
+  });
+  const ResilientResponse r = engine.run();
+  EXPECT_TRUE(r.status.ok()) << r.status.toString();  // no fatal stall — just a dead DUT
+  ASSERT_EQ(r.response.points.size(), 2u);
+  for (const MeasuredPoint& p : r.response.points) {
+    EXPECT_EQ(p.quality, PointQuality::Dropped) << to_string(p.quality);
+    EXPECT_TRUE(p.timed_out);
+    EXPECT_FALSE(p.status.ok());
+    EXPECT_EQ(p.status.kind(), Status::Kind::RelockFailed) << p.status.toString();
+  }
+  EXPECT_EQ(r.report.dropped, 2);
+  EXPECT_EQ(r.report.usable(), 0);
+  EXPECT_GE(r.report.relock_failures, 2);
+  EXPECT_GT(injected_drops, 0u);
+  EXPECT_EQ(r.response.toBode().size(), 0u);  // every point excluded from the fit
+}
+
+/// The core facade on the same catastrophic device: never throws, reports
+/// NoValidPoints with the full quality accounting attached.
+TEST(ResilientSweepEngine, CoreFacadeReportsNoValidPoints) {
+  const pll::PllConfig sick =
+      pll::applyFault(fastTestConfig(), {pll::FaultSpec::Kind::DividerWrongN, 25.0});
+  core::TransferFunctionMeasurement meas(sick);
+  ResilientSweepOptions rs;
+  rs.max_attempts = 1;
+  rs.relock_wait_periods = 10.0;
+  const core::MeasurementResult result = meas.runResilient(resilientTestOptions(), rs);
+  EXPECT_EQ(result.status.kind(), Status::Kind::NoValidPoints) << result.status.toString();
+  EXPECT_EQ(result.quality.dropped, 2);
+  EXPECT_EQ(result.quality.usable(), 0);
+  EXPECT_EQ(result.sweep.points.size(), 2u);
 }
 
 }  // namespace
