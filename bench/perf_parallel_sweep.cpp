@@ -1,0 +1,134 @@
+// Serial vs parallel point-farm sweep: runs the same Fig. 11 reference
+// sweep through bist::ParallelSweep at --jobs 1 (the serial reference
+// execution) and at --jobs N, prints the wall-clock times and speedup, and
+// checks the determinism contract — every Bode point, counter and status
+// must be bit-identical between the two runs.
+//
+//   perf_parallel_sweep [--jobs N] [--points N] [--device reference|fast]
+//
+// Exit code is 1 only when the determinism check fails (a wrong result);
+// timing is reported but never gates, so the binary stays usable on
+// loaded or single-core CI hosts.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bist/parallel_sweep.hpp"
+#include "pll/config.hpp"
+
+namespace {
+
+using namespace pllbist;
+
+bist::SweepOptions referenceSweepOptions(int points) {
+  const pll::ReferenceStimulus stim = pll::referenceStimulus();
+  bist::SweepOptions opt;
+  opt.stimulus = bist::StimulusKind::MultiToneFsk;
+  opt.fm_steps = stim.fm_steps;
+  opt.deviation_hz = stim.max_deviation_hz;
+  opt.master_clock_hz = stim.master_clock_hz;
+  opt.modulation_frequencies_hz = bist::SweepOptions::defaultSweep(8.0, points);
+  return opt;
+}
+
+bist::ResilientResponse runFarm(const pll::PllConfig& cfg, const bist::SweepOptions& sweep,
+                                int jobs) {
+  bist::ParallelSweepOptions popt;
+  popt.jobs = jobs;
+  bist::ParallelSweep engine(cfg, sweep, popt);
+  return engine.run();
+}
+
+bool bitIdentical(const bist::ResilientResponse& a, const bist::ResilientResponse& b) {
+  bool same = true;
+  auto mismatch = [&](const char* what) {
+    std::printf("MISMATCH: %s differs between jobs=1 and jobs=N\n", what);
+    same = false;
+  };
+  if (a.response.points.size() != b.response.points.size()) {
+    mismatch("point count");
+    return false;
+  }
+  // memcmp-grade equality on every double: the contract is bit-identical,
+  // not approximately equal.
+  for (std::size_t i = 0; i < a.response.points.size(); ++i) {
+    const bist::MeasuredPoint& pa = a.response.points[i];
+    const bist::MeasuredPoint& pb = b.response.points[i];
+    if (std::memcmp(&pa.modulation_hz, &pb.modulation_hz, sizeof(double)) != 0 ||
+        std::memcmp(&pa.deviation_hz, &pb.deviation_hz, sizeof(double)) != 0 ||
+        std::memcmp(&pa.phase_deg, &pb.phase_deg, sizeof(double)) != 0)
+      mismatch("point values");
+  }
+  if (std::memcmp(&a.response.nominal_vco_hz, &b.response.nominal_vco_hz, sizeof(double)) != 0)
+    mismatch("nominal VCO frequency");
+  if (std::memcmp(&a.response.static_reference_deviation_hz,
+                  &b.response.static_reference_deviation_hz, sizeof(double)) != 0)
+    mismatch("static reference deviation");
+  if (a.report.ok != b.report.ok || a.report.retried != b.report.retried ||
+      a.report.degraded != b.report.degraded || a.report.dropped != b.report.dropped ||
+      a.report.attempts_total != b.report.attempts_total || a.report.relocks != b.report.relocks)
+    mismatch("quality report counters");
+  if (a.status.kind() != b.status.kind()) mismatch("sweep status");
+  return same;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 4;
+  int points = 8;
+  std::string device = "reference";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--jobs N] [--points N] [--device reference|fast]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") jobs = std::stoi(next());
+    else if (arg == "--points") points = std::stoi(next());
+    else if (arg == "--device") device = next();
+    else next();  // unknown flag: print usage and exit
+  }
+  if (jobs < 1) jobs = 1;
+  if (points < 2) points = 2;
+
+  pll::PllConfig cfg;
+  bist::SweepOptions sweep;
+  if (device == "reference") {
+    cfg = pll::referenceConfig();
+    sweep = referenceSweepOptions(points);
+  } else {
+    cfg = pll::scaledTestConfig();
+    sweep = bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, points);
+  }
+
+  std::printf("parallel point-farm bench: %s device, %d points\n", device.c_str(), points);
+
+  const bist::ResilientResponse serial = runFarm(cfg, sweep, 1);
+  std::printf("  jobs=1: %6.2f s wall  (%.1f s simulated, %zu points, %s)\n",
+              serial.report.wall_time_s, serial.report.sim_time_s, serial.response.points.size(),
+              serial.report.summary().c_str());
+
+  const bist::ResilientResponse parallel = runFarm(cfg, sweep, jobs);
+  std::printf("  jobs=%d: %6.2f s wall  (%.1f s simulated, %zu points, %s)\n", jobs,
+              parallel.report.wall_time_s, parallel.report.sim_time_s,
+              parallel.response.points.size(), parallel.report.summary().c_str());
+
+  const double speedup = parallel.report.wall_time_s > 0.0
+                             ? serial.report.wall_time_s / parallel.report.wall_time_s
+                             : 0.0;
+  std::printf("speedup at --jobs %d: %.2fx\n", jobs, speedup);
+
+  if (!bitIdentical(serial, parallel)) {
+    std::printf("FAIL: determinism contract violated\n");
+    return 1;
+  }
+  std::printf("determinism: all %zu points bit-identical across job counts [ok]\n",
+              serial.response.points.size());
+  return 0;
+}

@@ -3,15 +3,38 @@
 // characterised once on a golden device, then each DUT runs the on-chip
 // BIST and its transfer-function signature is compared against limits —
 // exactly the "comparison against on-chip limits" flow the paper proposes.
+//
+//   production_screening [--jobs N]
+//
+// --jobs N screens the lot on N worker threads (0 = one per hardware
+// thread; default 1 = serial). Each DUT's screen builds its own simulated
+// testbench, so the lot is embarrassingly parallel; verdicts are printed
+// in lot order either way.
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "core/testplan.hpp"
 #include "pll/config.hpp"
 #include "pll/faults.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pllbist;
+
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 0) jobs = 0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const pll::PllConfig golden = pll::scaledTestConfig(200.0, 0.43);
   const bist::SweepOptions sweep =
@@ -38,14 +61,35 @@ int main() {
       {"DUT-06 (2 Mohm filter leak)", {pll::FaultSpec::Kind::FilterLeak, 2e6}},
       {"DUT-07 (good, slow corner -5%)", {pll::FaultSpec::Kind::VcoGainDrift, 0.95}},
   };
+  const std::size_t lot_size = std::size(lot);
+
+  // Screen the lot. TestPlan::screen is const and each call builds a fresh
+  // simulated testbench, so DUTs can be farmed out to worker threads; the
+  // results vector keeps lot order regardless of completion order.
+  std::vector<core::TestPlan::DutResult> results(lot_size);
+  if (jobs == 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  if (jobs > static_cast<int>(lot_size)) jobs = static_cast<int>(lot_size);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < lot_size; i = next.fetch_add(1))
+      results[i] = plan.screen(pll::applyFault(golden, lot[i].fault));
+  };
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    std::printf("screened %zu DUTs on %d worker threads\n\n", lot_size, jobs);
+  }
 
   std::printf("%-28s %9s %8s %9s  %s\n", "device", "fn (Hz)", "zeta", "verdict", "reason");
   int passed = 0, failed = 0;
-  for (const Dut& dut : lot) {
-    const pll::PllConfig cfg = pll::applyFault(golden, dut.fault);
-    const core::TestPlan::DutResult r = plan.screen(cfg);
+  for (std::size_t i = 0; i < lot_size; ++i) {
+    const core::TestPlan::DutResult& r = results[i];
     (r.verdict.pass ? passed : failed)++;
-    std::printf("%-28s %9.1f %8.3f %9s  %s\n", dut.name,
+    std::printf("%-28s %9.1f %8.3f %9s  %s\n", lot[i].name,
                 r.parameters.natural_frequency_hz.value_or(0.0), r.parameters.zeta.value_or(0.0),
                 r.verdict.pass ? "PASS" : "FAIL",
                 r.verdict.failures.empty() ? "-" : r.verdict.failures.front().c_str());

@@ -2,12 +2,17 @@
 // (optionally with an injected fault) and print or export the results.
 //
 //   sweep_cli [--device reference|fast|current] [--stimulus multi|two|sine|pm]
-//             [--points N] [--fault kind:magnitude] [--step] [--csv file]
+//             [--points N] [--jobs N] [--fault kind:magnitude] [--step] [--csv file]
 //
 // Examples:
 //   sweep_cli --device fast --stimulus multi --points 10
 //   sweep_cli --device fast --fault filter-c-drift:0.5 --csv out.csv
+//   sweep_cli --device reference --points 12 --jobs 4
 //   sweep_cli --device current --step
+//
+// --jobs N runs the sweep on the parallel point farm (one independent
+// testbench per frequency point, N worker threads; 0 = one per hardware
+// thread). Results are bit-identical for every job count.
 
 #include <cstdio>
 #include <cstring>
@@ -23,7 +28,7 @@ using namespace pllbist;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--device reference|fast|current] [--stimulus multi|two|sine|pm]\n"
-               "          [--points N] [--fault kind:magnitude] [--step] [--csv file]\n"
+               "          [--points N] [--jobs N] [--fault kind:magnitude] [--step] [--csv file]\n"
                "fault kinds: vco-gain-drift vco-center-drift pump-up-weak pump-down-weak\n"
                "             filter-r2-drift filter-c-drift filter-leak pfd-dead-zone\n"
                "             divider-wrong-n\n",
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string fault_text;
   int points = 10;
+  int jobs = -1;  // -1 = serial shared-bench sweep; >= 0 = parallel point farm
   bool step_mode = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +72,10 @@ int main(int argc, char** argv) {
     else if (arg == "--points") {
       points = std::stoi(next());
       if (points < 1) usage(argv[0]);
+    }
+    else if (arg == "--jobs") {
+      jobs = std::stoi(next());
+      if (jobs < 0) usage(argv[0]);
     }
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--fault") fault_text = next();
@@ -116,12 +126,28 @@ int main(int argc, char** argv) {
 
   // Sweep through the resilient engine: an injected catastrophic fault (or a
   // genuinely broken preset) drops points instead of hanging or throwing.
-  bist::ResilientSweep engine(cfg, bist::quickSweepOptions(cfg, kind, points));
-  engine.onPointMeasured([](const bist::MeasuredPoint& p) {
-    std::printf("  fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", p.modulation_hz,
-                p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
-  });
-  const bist::ResilientResponse result = engine.run();
+  // With --jobs the same sweep runs on the parallel point farm instead.
+  const bist::SweepOptions sweep_opt = bist::quickSweepOptions(cfg, kind, points);
+  bist::ResilientResponse result;
+  if (jobs >= 0) {
+    bist::ParallelSweepOptions popt;
+    popt.jobs = jobs;
+    bist::ParallelSweep engine(cfg, sweep_opt, popt);
+    engine.onPointMeasured([](std::size_t index, const bist::MeasuredPoint& p) {
+      std::printf("  [%2zu] fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", index,
+                  p.modulation_hz, p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
+    });
+    result = engine.run();
+    std::printf("parallel farm: %d requested jobs, %.2f s simulated in %.2f s wall\n", jobs,
+                result.report.sim_time_s, result.report.wall_time_s);
+  } else {
+    bist::ResilientSweep engine(cfg, sweep_opt);
+    engine.onPointMeasured([](const bist::MeasuredPoint& p) {
+      std::printf("  fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", p.modulation_hz,
+                  p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
+    });
+    result = engine.run();
+  }
   const bist::MeasuredResponse& measured = result.response;
 
   std::printf("sweep quality: %s\n", result.report.summary().c_str());

@@ -1,0 +1,152 @@
+#include "bist/parallel_sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bist/testbench.hpp"
+
+namespace pllbist::bist {
+
+Status ParallelSweepOptions::check() const {
+  if (jobs < 0)
+    return Status::makef(Status::Kind::InvalidArgument,
+                         "ParallelSweepOptions: jobs = %d, must be >= 0 (0 = auto)", jobs);
+  return resilience.check();
+}
+
+void ParallelSweepOptions::validate() const { check().throwIfError(); }
+
+uint64_t pointSeed(uint64_t base_seed, std::size_t point_index) {
+  // splitmix64 finalizer over base ^ golden-ratio-striped index: adjacent
+  // indices and adjacent base seeds land far apart, and index 0 does not
+  // collapse onto the base seed.
+  uint64_t z = base_seed + (static_cast<uint64_t>(point_index) + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SweepOptions singlePointOptions(const SweepOptions& base, std::size_t index) {
+  SweepOptions single = base;
+  single.modulation_frequencies_hz = {base.modulation_frequencies_hz.at(index)};
+  single.jitter_seed = static_cast<unsigned>(pointSeed(base.jitter_seed, index));
+  return single;
+}
+
+ParallelSweep::ParallelSweep(const pll::PllConfig& config, SweepOptions sweep,
+                             ParallelSweepOptions options)
+    : config_(config), sweep_(std::move(sweep)), options_(std::move(options)) {
+  config_.validate();
+  sweep_.check(config_).throwIfError();
+  options_.check().throwIfError();
+}
+
+ResilientResponse ParallelSweep::run() {
+  if (used_) throw std::logic_error("ParallelSweep::run: engine already used");
+  used_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const std::vector<double>& freqs = sweep_.modulation_frequencies_hz;
+  const std::size_t n = freqs.size();
+  std::vector<ResilientResponse> per_point(n);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        ResilientSweep engine(config_, singlePointOptions(sweep_, i), options_.resilience);
+        if (on_point_testbench_)
+          engine.onTestbench([this, i](SweepTestbench& bench) { on_point_testbench_(i, bench); });
+        per_point[i] = engine.run();
+      } catch (const std::exception& e) {
+        per_point[i].status = Status::makef(Status::Kind::Internal,
+                                            "point %zu (fm = %g Hz): engine threw: %s", i, freqs[i],
+                                            e.what());
+      }
+      if (progress_) {
+        // The merged view of a point is exactly its bench-local point (see
+        // the isolation model in the header), so it can be reported as soon
+        // as it lands — possibly out of point order.
+        const MeasuredPoint* p =
+            per_point[i].response.points.empty() ? nullptr : &per_point[i].response.points.front();
+        std::lock_guard<std::mutex> guard(progress_mutex);
+        if (p) progress_(i, *p);
+      }
+    }
+  };
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t jobs = options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs)
+                                       : static_cast<std::size_t>(hw > 0 ? hw : 1);
+  jobs = std::min(jobs, n);
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic merge, strictly in point-index order regardless of which
+  // worker finished when.
+  ResilientResponse out;
+  for (std::size_t i = 0; i < n; ++i) {
+    ResilientResponse& r = per_point[i];
+    if (out.response.nominal_vco_hz == 0.0 && r.response.nominal_vco_hz != 0.0) {
+      out.response.nominal_vco_hz = r.response.nominal_vco_hz;
+      out.response.static_reference_deviation_hz = r.response.static_reference_deviation_hz;
+    }
+    if (r.response.points.empty()) {
+      // The engine died before producing its point (stall during the
+      // nominal/DC prelude, or a thrown exception): synthesise a Dropped
+      // point carrying the fatal status so the merged sweep stays fully
+      // labelled, one entry per requested frequency.
+      MeasuredPoint p;
+      p.modulation_hz = freqs[i];
+      p.timed_out = true;
+      p.quality = PointQuality::Dropped;
+      p.attempts = 0;
+      p.status = r.status.ok()
+                     ? Status::makef(Status::Kind::Internal,
+                                     "point %zu (fm = %g Hz): engine produced no point", i, freqs[i])
+                     : r.status;
+      TestSequencer::PointResult raw;
+      raw.modulation_hz = freqs[i];
+      raw.timed_out = true;
+      raw.status = p.status;
+      ++out.report.points_total;
+      ++out.report.dropped;
+      out.response.points.push_back(std::move(p));
+      out.response.raw.push_back(std::move(raw));
+    } else {
+      out.report.points_total += r.report.points_total;
+      out.report.ok += r.report.ok;
+      out.report.retried += r.report.retried;
+      out.report.degraded += r.report.degraded;
+      out.report.dropped += r.report.dropped;
+      out.report.attempts_total += r.report.attempts_total;
+      out.report.relocks += r.report.relocks;
+      out.report.relock_failures += r.report.relock_failures;
+      out.response.points.push_back(std::move(r.response.points.front()));
+      out.response.raw.push_back(std::move(r.response.raw.front()));
+    }
+    // Total simulated seconds across the farm; with wall_time_s below this
+    // is the recorded sim-vs-wall speedup of the parallel execution.
+    out.report.sim_time_s += r.report.sim_time_s;
+    if (out.status.ok() && !r.status.ok()) out.status = r.status;
+  }
+  out.report.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return out;
+}
+
+}  // namespace pllbist::bist

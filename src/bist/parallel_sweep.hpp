@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "bist/resilient_sweep.hpp"
+#include "common/status.hpp"
+#include "pll/config.hpp"
+
+namespace pllbist::bist {
+
+/// Policy knobs of the parallel point-farm executor.
+struct ParallelSweepOptions {
+  /// Worker threads. 0 = one per hardware thread; always clamped to the
+  /// number of sweep points. 1 is the serial reference execution — by
+  /// contract it produces bit-identical results to any other job count.
+  int jobs = 0;
+  /// Retry/relock/degrade policy applied to every point's engine.
+  ResilientSweepOptions resilience;
+
+  /// Structured check; every rejection names the offending field and value.
+  [[nodiscard]] Status check() const;
+  /// check().throwIfError() — kept for the exception-based API.
+  void validate() const;
+};
+
+/// Deterministic per-point seed derivation (splitmix64 over the base seed
+/// and the point index). The farm re-seeds each point's stimulus jitter
+/// RNG with this, and test/campaign hooks are expected to use it for
+/// per-point FaultInjector seeds, so results never depend on which worker
+/// ran a point or in what order.
+[[nodiscard]] uint64_t pointSeed(uint64_t base_seed, std::size_t point_index);
+
+/// The base sweep restricted to point `index`: one modulation frequency,
+/// jitter RNG re-seeded via pointSeed(). This is the options recipe every
+/// farm worker runs; exposed so tests can reproduce a single point of a
+/// parallel sweep in isolation, bit-exactly.
+[[nodiscard]] SweepOptions singlePointOptions(const SweepOptions& base, std::size_t index);
+
+/// Parallel point-farm sweep executor. A full closed-loop sweep simulates
+/// one independent locked-loop measurement per FM frequency point; since
+/// every point starts from its own lock acquisition they are embarrassingly
+/// parallel. The farm builds one SweepTestbench (own sim::Circuit, own
+/// ResilientSweep engine, own per-point RNG seeds) per frequency point and
+/// runs them on a worker pool, then merges per-point results into one
+/// order-stable MeasuredResponse + combined SweepQualityReport.
+///
+/// Isolation model: each point measures its own nominal carrier and eqn (7)
+/// DC reference inside its own circuit, and its deviation is referenced to
+/// that same bench's nominal — so a point's numbers are independent of
+/// every other point. The merged response carries point 0's nominal and
+/// static reference (all benches are identical up to the per-point jitter
+/// seed). Note this differs from the shared-bench ResilientSweep, where
+/// later points inherit the loop state their predecessors left behind; the
+/// farm's contract is instead jobs-count invariance:
+///
+/// Determinism: for a fixed configuration and seed set, run() produces
+/// bit-identical points, report counters and statuses for every value of
+/// `jobs` — only wall_time_s varies. A fatal failure on one point never
+/// stops the others; it is recorded on that point and as the sweep status.
+class ParallelSweep {
+ public:
+  ParallelSweep(const pll::PllConfig& config, SweepOptions sweep,
+                ParallelSweepOptions options = {});
+
+  /// Fired on the owning worker's thread once a point's bench is
+  /// assembled, before its lock wait: (point_index, bench). Attach
+  /// per-point fault injection here, seeding with pointSeed() to keep the
+  /// jobs-count invariance. The callback must only touch that bench.
+  void onPointTestbench(std::function<void(std::size_t, SweepTestbench&)> cb) {
+    on_point_testbench_ = std::move(cb);
+  }
+
+  /// Fired (serialised, but possibly out of point order) as each point's
+  /// final classification lands: (point_index, point).
+  void onPointMeasured(std::function<void(std::size_t, const MeasuredPoint&)> cb) {
+    progress_ = std::move(cb);
+  }
+
+  /// Run the sweep. May be called once per instance.
+  ResilientResponse run();
+
+ private:
+  pll::PllConfig config_;
+  SweepOptions sweep_;
+  ParallelSweepOptions options_;
+  std::function<void(std::size_t, SweepTestbench&)> on_point_testbench_;
+  std::function<void(std::size_t, const MeasuredPoint&)> progress_;
+  bool used_ = false;
+};
+
+}  // namespace pllbist::bist

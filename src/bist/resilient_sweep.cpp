@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "bist/testbench.hpp"
@@ -83,7 +84,10 @@ ResilientResponse ResilientSweep::run() {
   used_ = true;
   const auto wall_start = std::chrono::steady_clock::now();
 
-  SweepTestbench bench(config_, sweep_, resilience_.lock_threshold_s, resilience_.lock_cycles);
+  const std::unique_ptr<SweepTestbench> bench_ptr =
+      TestbenchFactory(config_, sweep_, resilience_.lock_threshold_s, resilience_.lock_cycles)
+          .make();
+  SweepTestbench& bench = *bench_ptr;
   if (on_testbench_) on_testbench_(bench);
   sim::Circuit& c = bench.circuit();
   TestSequencer& seq = bench.sequencer();

@@ -36,10 +36,12 @@ MeasurementResult TransferFunctionMeasurement::runBist(bist::StimulusKind stimul
   return runBist(defaultSweepOptions(stimulus, points));
 }
 
-MeasurementResult TransferFunctionMeasurement::runResilient(
-    const bist::SweepOptions& options, const bist::ResilientSweepOptions& resilience) const {
-  bist::ResilientSweep engine(config_, options, resilience);
-  bist::ResilientResponse resilient = engine.run();
+namespace {
+
+/// Shared deterministic aggregation of a labelled sweep (resilient or
+/// parallel) into a MeasurementResult: fit what survived, record why when
+/// nothing did.
+MeasurementResult aggregateResilient(bist::ResilientResponse resilient) {
   MeasurementResult result;
   result.sweep = std::move(resilient.response);
   result.quality = resilient.report;
@@ -61,6 +63,20 @@ MeasurementResult TransferFunctionMeasurement::runResilient(
       result.status = Status::make(Status::Kind::NoValidPoints, e.what());
   }
   return result;
+}
+
+}  // namespace
+
+MeasurementResult TransferFunctionMeasurement::runResilient(
+    const bist::SweepOptions& options, const bist::ResilientSweepOptions& resilience) const {
+  bist::ResilientSweep engine(config_, options, resilience);
+  return aggregateResilient(engine.run());
+}
+
+MeasurementResult TransferFunctionMeasurement::runParallel(
+    const bist::SweepOptions& options, const bist::ParallelSweepOptions& parallel) const {
+  bist::ParallelSweep engine(config_, options, parallel);
+  return aggregateResilient(engine.run());
 }
 
 baseline::BenchResult TransferFunctionMeasurement::runBench(

@@ -51,7 +51,7 @@ void Circuit::scheduleSet(SignalId id, double t, bool value) {
   ev.seq = next_seq_++;
   ev.signal = id;
   ev.value = value;
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
 }
 
 void Circuit::scheduleCallback(double t, EdgeCallback cb) {
@@ -61,54 +61,79 @@ void Circuit::scheduleCallback(double t, EdgeCallback cb) {
   ev.seq = next_seq_++;
   ev.signal = kNoSignal;
   ev.callback = std::move(cb);
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
 }
 
 void Circuit::execute(Event& ev) {
   now_ = ev.time;
   ++processed_events_;
   if (ev.signal == kNoSignal) {
+    ++delivered_events_;
     ev.callback(now_);
     return;
   }
-  if (interceptor_) {
+  if (interceptor_ && !ev.intercepted) {
     const InterceptVerdict verdict = interceptor_(ev.signal, now_, ev.value);
     switch (verdict.action) {
       case InterceptVerdict::Action::Deliver:
         break;
       case InterceptVerdict::Action::Drop:
+        ++dropped_events_;
         return;
-      case InterceptVerdict::Action::Delay:
+      case InterceptVerdict::Action::Delay: {
         PLLBIST_ASSERT(verdict.delay_s > 0.0);
-        scheduleSet(ev.signal, now_ + verdict.delay_s, ev.value);
+        ++delayed_events_;
+        // Re-enqueue marked intercepted: the postponed edge is delivered
+        // exactly once instead of passing through the interceptor again
+        // (a persistent delay rule would otherwise chase it forever and
+        // double-count fault statistics).
+        Event delayed;
+        delayed.time = now_ + verdict.delay_s;
+        delayed.seq = next_seq_++;
+        delayed.signal = ev.signal;
+        delayed.value = ev.value;
+        delayed.intercepted = true;
+        enqueue(std::move(delayed));
         return;
+      }
     }
   }
   SignalState& sig = signals_[static_cast<size_t>(ev.signal)];
-  if (sig.value == ev.value) return;  // swallowed (no change)
+  if (sig.value == ev.value) {
+    ++swallowed_events_;
+    return;  // swallowed (no change)
+  }
   sig.value = ev.value;
+  ++delivered_events_;
   // Note: callbacks may register more callbacks on this signal; iterate by
   // index so vector growth is safe.
   for (size_t i = 0; i < sig.change_callbacks.size(); ++i) sig.change_callbacks[i](now_, ev.value);
 }
 
 bool Circuit::step() {
+  if (stop_requested_) {
+    stop_requested_ = false;
+    return false;
+  }
   if (queue_.empty()) return false;
-  // priority_queue::top is const; copy out then pop. Events are small.
-  Event ev = queue_.top();
-  queue_.pop();
+  Event ev = popNext();
   execute(ev);
   return true;
 }
 
 bool Circuit::run(double t_end) {
   PLLBIST_ASSERT(t_end >= now_);
-  stop_requested_ = false;
-  while (!queue_.empty() && queue_.top().time <= t_end) {
-    Event ev = queue_.top();
-    queue_.pop();
+  if (stop_requested_) {
+    stop_requested_ = false;
+    return false;
+  }
+  while (!queue_.empty() && queue_.front().time <= t_end) {
+    Event ev = popNext();
     execute(ev);
-    if (stop_requested_) return false;
+    if (stop_requested_) {
+      stop_requested_ = false;
+      return false;
+    }
   }
   now_ = t_end;
   return true;

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -48,7 +48,11 @@ class Circuit {
   /// Consulted at delivery time for every signal transition while
   /// installed. This is the sim-level fault-injection seam (see
   /// sim::FaultInjector): dropping a transition models a missed edge,
-  /// delaying it models a marginal path. At most one interceptor can be
+  /// delaying it models a marginal path. Each scheduled transition is
+  /// intercepted at most once: a Delay verdict re-enqueues the event
+  /// marked as already-intercepted, so it is delivered unconditionally at
+  /// the postponed time (a persistent delay rule postpones each edge once
+  /// instead of chasing it forever). At most one interceptor can be
   /// installed; pass nullptr to uninstall. Zero overhead when unset.
   using EventInterceptor = std::function<InterceptVerdict(SignalId id, double now, bool value)>;
   void setEventInterceptor(EventInterceptor interceptor) { interceptor_ = std::move(interceptor); }
@@ -77,23 +81,44 @@ class Circuit {
   /// Schedule an arbitrary callback at time t (>= now).
   void scheduleCallback(double t, EdgeCallback cb);
 
-  /// Immediately force a signal at the current time (delivered before any
-  /// later-scheduled events). Intended for testbench pokes.
+  /// Immediately force a signal at the current time. Insertion order makes
+  /// this deliver before any event scheduled *after* this call at the same
+  /// timestamp. Intended for testbench pokes.
   void setNow(SignalId id, bool value) { scheduleSet(id, now_, value); }
 
   [[nodiscard]] double now() const { return now_; }
 
   /// Process all events with timestamp <= t_end, then advance now to t_end.
-  /// Returns false if the run was interrupted by requestStop().
+  /// Returns false if the run was interrupted by requestStop(); on that
+  /// early return now() stays at the timestamp of the last delivered event
+  /// (it is NOT advanced to t_end), so a subsequent run()/step() resumes
+  /// exactly where the stop took effect.
   bool run(double t_end);
 
-  /// Process exactly one event if any is pending; returns false when idle.
+  /// Process exactly one event if any is pending; returns false when idle
+  /// or when a stop request was pending (the request is consumed).
   bool step();
 
-  /// Callable from inside a callback to make run() return early.
+  /// Request that event processing pause at the next event boundary: the
+  /// current run() returns false after the in-flight event completes, or —
+  /// if no run is active — the next run()/step() call returns false
+  /// immediately without processing anything. The request is consumed when
+  /// honoured; it never leaks into a later call.
   void requestStop() { stop_requested_ = true; }
 
+  /// Total events dequeued (delivered + dropped + delayed + swallowed).
   [[nodiscard]] uint64_t processedEventCount() const { return processed_events_; }
+  /// Events that actually did work: pure callbacks executed plus signal
+  /// transitions applied (value changed, change callbacks fired). This is
+  /// the honest event-throughput number; drops/swallows are bookkeeping.
+  [[nodiscard]] uint64_t deliveredEventCount() const { return delivered_events_; }
+  /// Transitions swallowed by an interceptor Drop verdict.
+  [[nodiscard]] uint64_t droppedEventCount() const { return dropped_events_; }
+  /// Transitions postponed by an interceptor Delay verdict (each counted
+  /// once at the verdict; the re-delivery lands in delivered/swallowed).
+  [[nodiscard]] uint64_t delayedEventCount() const { return delayed_events_; }
+  /// No-change transitions swallowed by the kernel.
+  [[nodiscard]] uint64_t swallowedEventCount() const { return swallowed_events_; }
 
  private:
   struct Event {
@@ -101,6 +126,7 @@ class Circuit {
     uint64_t seq = 0;
     SignalId signal = kNoSignal;  // kNoSignal => pure callback event
     bool value = false;
+    bool intercepted = false;     // already saw the interceptor (Delay re-enqueue)
     EdgeCallback callback;        // only for callback events
   };
   struct EventLater {
@@ -115,15 +141,32 @@ class Circuit {
     std::vector<ChangeCallback> change_callbacks;
   };
 
+  void enqueue(Event ev) {
+    queue_.push_back(std::move(ev));
+    std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+  }
+  /// Move the earliest event out of the heap. Safe to move: the heap
+  /// sift-down only reads time/seq, which moving leaves intact.
+  Event popNext() {
+    std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    return ev;
+  }
+
   void execute(Event& ev);
   void checkId(SignalId id) const;
 
   std::vector<SignalState> signals_;
   EventInterceptor interceptor_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Event> queue_;  // binary heap (EventLater), earliest at front
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t processed_events_ = 0;
+  uint64_t delivered_events_ = 0;
+  uint64_t dropped_events_ = 0;
+  uint64_t delayed_events_ = 0;
+  uint64_t swallowed_events_ = 0;
   bool stop_requested_ = false;
 };
 

@@ -52,8 +52,11 @@ class FaultInjector : public Component {
 
   /// Postpone each transition of `id` with `probability` by a uniform
   /// random delay in [min_delay_s, max_delay_s]. A delayed event is
-  /// re-examined on redelivery (it can be delayed again or dropped by
-  /// another rule), which is exactly how a marginal path misbehaves.
+  /// delivered unconditionally at the postponed time — the kernel marks it
+  /// already-intercepted, so it cannot be delayed again or dropped by
+  /// another rule. (It used to be re-examined, which let a persistent
+  /// delay rule chase its own re-enqueues forever and double-count the
+  /// delayed/dropped statistics.)
   void delayEdges(SignalId id, double probability, double min_delay_s, double max_delay_s,
                   double from_s = 0.0, double until_s = kForever);
 

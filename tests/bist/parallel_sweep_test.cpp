@@ -1,0 +1,173 @@
+#include "bist/parallel_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bist/testbench.hpp"
+#include "common/assert.hpp"
+#include "support/test_configs.hpp"
+
+namespace pllbist::bist {
+namespace {
+
+using pllbist::testing::fastSweepOptions;
+using pllbist::testing::fastTestConfig;
+
+ResilientResponse runFarm(const SweepOptions& sweep, int jobs,
+                          uint64_t fault_seed = 0) {
+  ParallelSweepOptions popt;
+  popt.jobs = jobs;
+  ParallelSweep engine(fastTestConfig(), sweep, popt);
+  if (fault_seed != 0) {
+    engine.onPointTestbench([fault_seed](std::size_t index, SweepTestbench& bench) {
+      // Per-point derived seed: the injected fault stream for point i is a
+      // pure function of (base seed, i), never of the worker or schedule.
+      sim::FaultInjector& inj = bench.faultInjector(pointSeed(fault_seed, index));
+      inj.dropEdges(bench.stimulusMarker(), 0.2);
+    });
+  }
+  return engine.run();
+}
+
+void expectBitIdentical(const ResilientResponse& a, const ResilientResponse& b) {
+  ASSERT_EQ(a.response.points.size(), b.response.points.size());
+  for (std::size_t i = 0; i < a.response.points.size(); ++i) {
+    const MeasuredPoint& pa = a.response.points[i];
+    const MeasuredPoint& pb = b.response.points[i];
+    // EXPECT_EQ, not NEAR: the contract is bit-identical doubles.
+    EXPECT_EQ(pa.modulation_hz, pb.modulation_hz) << "point " << i;
+    EXPECT_EQ(pa.deviation_hz, pb.deviation_hz) << "point " << i;
+    EXPECT_EQ(pa.phase_deg, pb.phase_deg) << "point " << i;
+    EXPECT_EQ(pa.unity_gain_deviation_hz, pb.unity_gain_deviation_hz) << "point " << i;
+    EXPECT_EQ(pa.quality, pb.quality) << "point " << i;
+    EXPECT_EQ(pa.attempts, pb.attempts) << "point " << i;
+    EXPECT_EQ(pa.timed_out, pb.timed_out) << "point " << i;
+  }
+  EXPECT_EQ(a.response.nominal_vco_hz, b.response.nominal_vco_hz);
+  EXPECT_EQ(a.response.static_reference_deviation_hz, b.response.static_reference_deviation_hz);
+  EXPECT_EQ(a.report.points_total, b.report.points_total);
+  EXPECT_EQ(a.report.ok, b.report.ok);
+  EXPECT_EQ(a.report.retried, b.report.retried);
+  EXPECT_EQ(a.report.degraded, b.report.degraded);
+  EXPECT_EQ(a.report.dropped, b.report.dropped);
+  EXPECT_EQ(a.report.attempts_total, b.report.attempts_total);
+  EXPECT_EQ(a.report.relocks, b.report.relocks);
+  EXPECT_EQ(a.report.sim_time_s, b.report.sim_time_s);
+  EXPECT_EQ(a.status.kind(), b.status.kind());
+}
+
+TEST(ParallelSweep, JobsCountInvariance) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 6);
+  const ResilientResponse serial = runFarm(sweep, 1);
+  const ResilientResponse parallel = runFarm(sweep, 4);
+  expectBitIdentical(serial, parallel);
+  EXPECT_GT(serial.report.usable(), 0);
+}
+
+TEST(ParallelSweep, DefaultJobsMatchesSerialReference) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 5);
+  const ResilientResponse serial = runFarm(sweep, 1);
+  const ResilientResponse automatic = runFarm(sweep, 0);  // hardware concurrency
+  expectBitIdentical(serial, automatic);
+}
+
+TEST(ParallelSweep, MergedReportAccountsForEveryPoint) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 6);
+  const ResilientResponse r = runFarm(sweep, 3);
+  EXPECT_EQ(r.report.points_total, 6);
+  EXPECT_EQ(r.report.ok + r.report.retried + r.report.degraded + r.report.dropped, 6);
+  EXPECT_EQ(r.response.points.size(), 6u);
+  EXPECT_GT(r.report.sim_time_s, 0.0);
+  EXPECT_GT(r.report.wall_time_s, 0.0);
+}
+
+TEST(ParallelSweep, PointsStayInAscendingFrequencyOrder) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 6);
+  const ResilientResponse r = runFarm(sweep, 4);
+  ASSERT_EQ(r.response.points.size(), sweep.modulation_frequencies_hz.size());
+  for (std::size_t i = 0; i < r.response.points.size(); ++i)
+    EXPECT_EQ(r.response.points[i].modulation_hz, sweep.modulation_frequencies_hz[i]);
+}
+
+TEST(ParallelSweep, ProgressCallbackSeesEveryPointExactlyOnce) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 5);
+  ParallelSweepOptions popt;
+  popt.jobs = 3;
+  ParallelSweep engine(fastTestConfig(), sweep, popt);
+  std::set<std::size_t> seen;  // progress_ is serialised by the farm's mutex
+  engine.onPointMeasured([&](std::size_t index, const MeasuredPoint&) { seen.insert(index); });
+  (void)engine.run();
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(ParallelSweep, FaultInjectionDeterministicAcrossJobCounts) {
+  // The worker that happens to run a point must not affect its injected
+  // fault stream: seeds derive from the point index alone.
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 5);
+  const ResilientResponse serial = runFarm(sweep, 1, /*fault_seed=*/42);
+  const ResilientResponse parallel = runFarm(sweep, 4, /*fault_seed=*/42);
+  expectBitIdentical(serial, parallel);
+}
+
+TEST(ParallelSweep, JitterSeedsDeriveFromPointIndex) {
+  SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 4);
+  sweep.ref_edge_jitter_rms_s = 2e-7;
+  sweep.jitter_seed = 7;
+  const ResilientResponse serial = runFarm(sweep, 1);
+  const ResilientResponse parallel = runFarm(sweep, 4);
+  expectBitIdentical(serial, parallel);
+}
+
+TEST(ParallelSweep, PointSeedIsStableAndDistinct) {
+  const uint64_t a0 = pointSeed(1, 0);
+  EXPECT_EQ(a0, pointSeed(1, 0));  // pure function
+  std::set<uint64_t> seeds;
+  for (std::size_t i = 0; i < 64; ++i) seeds.insert(pointSeed(1, i));
+  EXPECT_EQ(seeds.size(), 64u);               // no collisions across indices
+  EXPECT_NE(pointSeed(1, 0), pointSeed(2, 0));  // base seed matters
+  EXPECT_NE(pointSeed(1, 0), 0u);               // never the degenerate seed
+}
+
+TEST(ParallelSweep, SinglePointOptionsRestrictToOneFrequency) {
+  SweepOptions base = fastSweepOptions(StimulusKind::MultiToneFsk, 5);
+  base.jitter_seed = 99;
+  const SweepOptions p2 = singlePointOptions(base, 2);
+  ASSERT_EQ(p2.modulation_frequencies_hz.size(), 1u);
+  EXPECT_EQ(p2.modulation_frequencies_hz[0], base.modulation_frequencies_hz[2]);
+  EXPECT_NE(p2.jitter_seed, base.jitter_seed);
+  EXPECT_NE(p2.jitter_seed, singlePointOptions(base, 3).jitter_seed);
+  EXPECT_EQ(p2.jitter_seed, singlePointOptions(base, 2).jitter_seed);  // reproducible
+}
+
+TEST(ParallelSweep, RejectsNegativeJobs) {
+  ParallelSweepOptions popt;
+  popt.jobs = -2;
+  EXPECT_FALSE(popt.check().ok());
+  EXPECT_THROW(popt.validate(), std::invalid_argument);
+}
+
+TEST(ParallelSweep, RunIsSingleUse) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 2);
+  ParallelSweep engine(fastTestConfig(), sweep, {});
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(TestbenchFactory, BenchesAreIndependent) {
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 2);
+  TestbenchFactory factory(fastTestConfig(), sweep);
+  auto bench_a = factory.make();
+  auto bench_b = factory.make();
+  // Advancing one bench's circuit leaves the other untouched.
+  bench_a->circuit().run(0.01);
+  EXPECT_DOUBLE_EQ(bench_a->circuit().now(), 0.01);
+  EXPECT_DOUBLE_EQ(bench_b->circuit().now(), 0.0);
+  // The factory validated once; the recipe it hands out matches.
+  EXPECT_EQ(factory.options().modulation_frequencies_hz.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pllbist::bist

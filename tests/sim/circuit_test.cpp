@@ -162,5 +162,164 @@ TEST(Circuit, ManyListenersAllFire) {
   EXPECT_EQ(count, 10);
 }
 
+TEST(Circuit, MixedSameTimeEventsKeepGlobalInsertionOrder) {
+  // The tie-break is the global schedule order, not per-kind: signal sets
+  // and callbacks interleaved at one timestamp deliver exactly as enqueued.
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  SignalId b = c.addSignal("b");
+  std::vector<int> order;
+  c.onChange(a, [&](double, bool) { order.push_back(1); });
+  c.onChange(b, [&](double, bool) { order.push_back(3); });
+  c.scheduleSet(a, 1.0, true);
+  c.scheduleCallback(1.0, [&](double) { order.push_back(2); });
+  c.scheduleSet(b, 1.0, true);
+  c.scheduleCallback(1.0, [&](double) { order.push_back(4); });
+  c.run(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Circuit, SetNowDeliversBeforeLaterScheduledSameTimeEvent) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  SignalId b = c.addSignal("b");
+  std::vector<char> order;
+  c.onChange(a, [&](double, bool) { order.push_back('a'); });
+  c.onChange(b, [&](double, bool) { order.push_back('b'); });
+  c.run(4.0);
+  c.setNow(a, true);                // enqueued first at t = 4
+  c.scheduleSet(b, 4.0, true);      // same timestamp, scheduled after
+  c.run(4.0);
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+}
+
+TEST(Circuit, CallbackRegisteringCallbackMidDeliveryIsSafe) {
+  // A change callback may grow the listener list of the very signal being
+  // delivered (the vector is iterated by index, so this must not invalidate
+  // the loop). The newly registered listener joins the fan-out of the
+  // in-flight transition.
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  int late_calls = 0;
+  c.onChange(a, [&](double, bool) {
+    c.onChange(a, [&](double, bool) { ++late_calls; });
+  });
+  c.scheduleSet(a, 1.0, true);
+  c.run(2.0);
+  EXPECT_EQ(late_calls, 1);
+  c.scheduleSet(a, 3.0, false);
+  c.run(4.0);
+  // The original registers another listener each change; both the first and
+  // second late listeners see the second transition.
+  EXPECT_EQ(late_calls, 1 + 2);
+}
+
+TEST(Circuit, DelayedEventIsNotInterceptedAgain) {
+  // Regression: a persistent Delay rule used to chase its own re-enqueued
+  // event forever (livelock) and double-count fault statistics. The
+  // re-enqueued event is marked intercepted and delivered unconditionally.
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  int interceptor_calls = 0;
+  std::vector<double> edge_times;
+  c.onChange(a, [&](double now, bool) { edge_times.push_back(now); });
+  c.setEventInterceptor([&](SignalId, double, bool) {
+    ++interceptor_calls;
+    Circuit::InterceptVerdict v;
+    v.action = Circuit::InterceptVerdict::Action::Delay;
+    v.delay_s = 0.25;
+    return v;
+  });
+  c.scheduleSet(a, 1.0, true);
+  c.run(5.0);
+  EXPECT_EQ(interceptor_calls, 1);  // once per scheduled edge, not per hop
+  ASSERT_EQ(edge_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(edge_times[0], 1.25);
+  EXPECT_EQ(c.delayedEventCount(), 1u);
+  EXPECT_EQ(c.deliveredEventCount(), 1u);
+}
+
+TEST(Circuit, EventCountersSplitByOutcome) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  SignalId b = c.addSignal("b");
+  c.setEventInterceptor([&](SignalId id, double, bool) {
+    Circuit::InterceptVerdict v;
+    if (id == b) v.action = Circuit::InterceptVerdict::Action::Drop;
+    return v;
+  });
+  c.scheduleCallback(0.5, [](double) {});  // delivered (pure callback)
+  c.scheduleSet(a, 1.0, true);             // delivered (transition applied)
+  c.scheduleSet(a, 2.0, true);             // swallowed (no change)
+  c.scheduleSet(b, 3.0, true);             // dropped by interceptor
+  c.run(5.0);
+  EXPECT_EQ(c.deliveredEventCount(), 2u);
+  EXPECT_EQ(c.swallowedEventCount(), 1u);
+  EXPECT_EQ(c.droppedEventCount(), 1u);
+  EXPECT_EQ(c.delayedEventCount(), 0u);
+  EXPECT_EQ(c.processedEventCount(),
+            c.deliveredEventCount() + c.droppedEventCount() + c.delayedEventCount() +
+                c.swallowedEventCount());
+  EXPECT_FALSE(c.value(b));  // the dropped edge never happened
+}
+
+TEST(Circuit, DelayedThenRedeliveredEventCountedInBothBuckets) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  bool first = true;
+  c.setEventInterceptor([&](SignalId, double, bool) {
+    Circuit::InterceptVerdict v;
+    if (first) {
+      first = false;
+      v.action = Circuit::InterceptVerdict::Action::Delay;
+      v.delay_s = 0.5;
+    }
+    return v;
+  });
+  c.scheduleSet(a, 1.0, true);
+  c.run(3.0);
+  // One dequeue postponed it (delayed), a second dequeue applied it
+  // (delivered): two processed events for one scheduled edge.
+  EXPECT_EQ(c.delayedEventCount(), 1u);
+  EXPECT_EQ(c.deliveredEventCount(), 1u);
+  EXPECT_EQ(c.processedEventCount(), 2u);
+}
+
+TEST(Circuit, StepHonoursPendingStopRequest) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleSet(a, 1.0, true);
+  c.requestStop();
+  EXPECT_FALSE(c.step());    // consumed the stop, processed nothing
+  EXPECT_FALSE(c.value(a));
+  EXPECT_TRUE(c.step());     // stop does not leak into the next call
+  EXPECT_TRUE(c.value(a));
+}
+
+TEST(Circuit, StopRequestedWhileIdleDoesNotLeak) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleSet(a, 1.0, true);
+  c.requestStop();
+  EXPECT_FALSE(c.run(5.0));  // returns immediately, queue untouched
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_FALSE(c.value(a));
+  EXPECT_TRUE(c.run(5.0));   // consumed: this run completes normally
+  EXPECT_TRUE(c.value(a));
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+}
+
+TEST(Circuit, StoppedRunKeepsNowAtLastDeliveredEvent) {
+  Circuit c;
+  SignalId a = c.addSignal("a");
+  c.scheduleCallback(1.0, [&](double) { c.requestStop(); });
+  c.scheduleSet(a, 2.0, true);
+  EXPECT_FALSE(c.run(5.0));
+  EXPECT_DOUBLE_EQ(c.now(), 1.0);  // not advanced to t_end on early return
+  EXPECT_TRUE(c.run(5.0));
+  EXPECT_TRUE(c.value(a));
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+}
+
 }  // namespace
 }  // namespace pllbist::sim

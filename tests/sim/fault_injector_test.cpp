@@ -67,9 +67,8 @@ TEST(FaultInjector, DropPatternIsDeterministicPerSeed) {
   EXPECT_GT(a.first.size(), 10u);
 }
 
-/// A delayed edge is postponed by exactly the configured amount (and is
-/// re-examined on redelivery — here the rule window has expired, so it
-/// lands cleanly).
+/// A delayed edge is postponed by exactly the configured amount and is
+/// delivered once at the postponed time without being re-intercepted.
 TEST(FaultInjector, DelayPostponesAnEdgeOutOfItsWindow) {
   Circuit c;
   const SignalId sig = c.addSignal("sig");
