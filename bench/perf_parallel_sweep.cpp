@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bist/parallel_sweep.hpp"
+#include "obs/metrics.hpp"
 #include "pll/config.hpp"
 
 namespace {
@@ -123,6 +124,16 @@ int main(int argc, char** argv) {
                              ? serial.report.wall_time_s / parallel.report.wall_time_s
                              : 0.0;
   std::printf("speedup at --jobs %d: %.2fx\n", jobs, speedup);
+
+  // Per-point latency distribution, read back from the telemetry histogram
+  // the engines populate (both runs land in the same process-wide metric).
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  if (const obs::HistogramValue* h = snap.findHistogram("bist.sweep.point_wall_s");
+      h != nullptr && h->count > 0) {
+    std::printf("point latency (%llu points, both runs): p50 %.1f ms  p95 %.1f ms  max %.1f ms\n",
+                static_cast<unsigned long long>(h->count), h->quantile(0.50) * 1e3,
+                h->quantile(0.95) * 1e3, h->max * 1e3);
+  }
 
   if (!bitIdentical(serial, parallel)) {
     std::printf("FAIL: determinism contract violated\n");

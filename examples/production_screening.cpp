@@ -4,21 +4,30 @@
 // BIST and its transfer-function signature is compared against limits —
 // exactly the "comparison against on-chip limits" flow the paper proposes.
 //
-//   production_screening [--jobs N]
+//   production_screening [--jobs N] [--report lot.json]
 //
 // --jobs N screens the lot on N worker threads (0 = one per hardware
 // thread; default 1 = serial). Each DUT's screen builds its own simulated
 // testbench, so the lot is embarrassingly parallel; verdicts are printed
 // in lot order either way.
+//
+// --report writes a lot-level JSON report: one verdict row per DUT plus
+// the full telemetry snapshot (kernel event counters, per-point latency
+// histogram) accumulated across every screen in the lot.
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/testplan.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "pll/config.hpp"
 #include "pll/faults.hpp"
 
@@ -26,15 +35,22 @@ int main(int argc, char** argv) {
   using namespace pllbist;
 
   int jobs = 1;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
       if (jobs < 0) jobs = 0;
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--jobs N] [--report lot.json]\n", argv[0]);
       return 2;
     }
   }
+
+  // Scope the telemetry snapshot in the lot report to this process's work
+  // (golden characterisation included — it is part of the screening cost).
+  obs::MetricsRegistry::global().reset();
 
   const pll::PllConfig golden = pll::scaledTestConfig(200.0, 0.43);
   const bist::SweepOptions sweep =
@@ -95,6 +111,39 @@ int main(int argc, char** argv) {
                 r.verdict.failures.empty() ? "-" : r.verdict.failures.front().c_str());
   }
   std::printf("\nlot summary: %d passed, %d failed\n", passed, failed);
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    obs::JsonWriter w(out);
+    w.beginObject();
+    w.key("schema").value("pllbist.lot_report/1");
+    w.key("tool").value("production_screening");
+    w.key("jobs").value(jobs);
+    w.key("duts").beginArray();
+    for (std::size_t i = 0; i < lot_size; ++i) {
+      const core::TestPlan::DutResult& r = results[i];
+      w.beginObject();
+      w.key("name").value(lot[i].name);
+      w.key("fn_hz").value(r.parameters.natural_frequency_hz.value_or(0.0));
+      w.key("zeta").value(r.parameters.zeta.value_or(0.0));
+      w.key("pass").value(r.verdict.pass);
+      w.key("failures").beginArray();
+      for (const std::string& f : r.verdict.failures) w.value(f);
+      w.endArray();
+      w.endObject();
+    }
+    w.endArray();
+    w.key("summary").beginObject();
+    w.key("passed").value(passed);
+    w.key("failed").value(failed);
+    w.endObject();
+    w.key("metrics");
+    obs::writeMetricsJson(w, obs::MetricsRegistry::global().snapshot());
+    w.endObject();
+    out << '\n';
+    std::printf("wrote %s (lot report, %zu DUTs)\n", report_path.c_str(), lot_size);
+  }
+
   std::printf("expected: DUT-01 and DUT-07 pass (the -5%% corner sits inside the 20%% band),\n"
               "all genuinely defective devices fail.\n");
   return 0;

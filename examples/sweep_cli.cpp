@@ -3,16 +3,24 @@
 //
 //   sweep_cli [--device reference|fast|current] [--stimulus multi|two|sine|pm]
 //             [--points N] [--jobs N] [--fault kind:magnitude] [--step] [--csv file]
+//             [--report out.json] [--trace out.trace.json]
 //
 // Examples:
 //   sweep_cli --device fast --stimulus multi --points 10
 //   sweep_cli --device fast --fault filter-c-drift:0.5 --csv out.csv
 //   sweep_cli --device reference --points 12 --jobs 4
+//   sweep_cli --device fast --jobs 4 --report r.json --trace t.trace.json
 //   sweep_cli --device current --step
 //
 // --jobs N runs the sweep on the parallel point farm (one independent
 // testbench per frequency point, N worker threads; 0 = one per hardware
 // thread). Results are bit-identical for every job count.
+//
+// --report writes the consolidated RunReport JSON (config digest, per-point
+// quality + timing, kernel/fault statistics, full metrics snapshot).
+// --trace enables the span tracer and writes a Chrome trace_event file —
+// open it in Perfetto (https://ui.perfetto.dev) or chrome://tracing for a
+// flame view of the sweep.
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +37,7 @@ using namespace pllbist;
   std::fprintf(stderr,
                "usage: %s [--device reference|fast|current] [--stimulus multi|two|sine|pm]\n"
                "          [--points N] [--jobs N] [--fault kind:magnitude] [--step] [--csv file]\n"
+               "          [--report out.json] [--trace out.trace.json]\n"
                "fault kinds: vco-gain-drift vco-center-drift pump-up-weak pump-down-weak\n"
                "             filter-r2-drift filter-c-drift filter-leak pfd-dead-zone\n"
                "             divider-wrong-n\n",
@@ -56,6 +65,8 @@ int main(int argc, char** argv) {
   std::string device = "fast";
   std::string stimulus = "multi";
   std::string csv_path;
+  std::string report_path;
+  std::string trace_path;
   std::string fault_text;
   int points = 10;
   int jobs = -1;  // -1 = serial shared-bench sweep; >= 0 = parallel point farm
@@ -78,6 +89,8 @@ int main(int argc, char** argv) {
       if (jobs < 0) usage(argv[0]);
     }
     else if (arg == "--csv") csv_path = next();
+    else if (arg == "--report") report_path = next();
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--fault") fault_text = next();
     else if (arg == "--step") step_mode = true;
     else usage(argv[0]);
@@ -124,6 +137,12 @@ int main(int argc, char** argv) {
   else if (stimulus == "pm") kind = bist::StimulusKind::DelayLinePm;
   else usage(argv[0]);
 
+  // Telemetry: metrics are always on (the registry is cheap); the span
+  // tracer records only when a trace file was requested. Resetting the
+  // registry scopes the RunReport to this run alone.
+  obs::MetricsRegistry::global().reset();
+  if (!trace_path.empty()) obs::Tracer::global().setEnabled(true);
+
   // Sweep through the resilient engine: an injected catastrophic fault (or a
   // genuinely broken preset) drops points instead of hanging or throwing.
   // With --jobs the same sweep runs on the parallel point farm instead.
@@ -151,6 +170,24 @@ int main(int argc, char** argv) {
   const bist::MeasuredResponse& measured = result.response;
 
   std::printf("sweep quality: %s\n", result.report.summary().c_str());
+
+  // Export telemetry before the pass/fail verdict so a failed sweep still
+  // leaves its report and trace behind for diagnosis.
+  if (!report_path.empty()) {
+    const obs::RunReport report =
+        core::buildRunReport("sweep_cli", device, cfg, sweep_opt, jobs, result);
+    std::ofstream out(report_path);
+    report.writeJson(out);
+    std::printf("wrote %s (RunReport %s, digest 0x%016llx)\n", report_path.c_str(),
+                obs::kRunReportSchema, static_cast<unsigned long long>(report.config_digest));
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    obs::Tracer::global().writeChromeTrace(out);
+    std::printf("wrote %s (%zu spans; open in Perfetto or chrome://tracing)\n", trace_path.c_str(),
+                obs::Tracer::global().records().size());
+  }
+
   if (!result.status.ok() || result.report.usable() == 0) {
     std::printf("sweep failed: %s\n",
                 result.status.ok() ? "no usable points" : result.status.toString().c_str());

@@ -1,13 +1,16 @@
 #include "bist/controller.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 
+#include "bist/telemetry.hpp"
 #include "bist/testbench.hpp"
 #include "common/assert.hpp"
 #include "common/units.hpp"
 #include "control/grid.hpp"
+#include "obs/tracer.hpp"
 
 namespace pllbist::bist {
 
@@ -166,6 +169,7 @@ BistController::BistController(const pll::PllConfig& pll_config, SweepOptions op
 MeasuredResponse BistController::run() {
   if (used_) throw std::logic_error("BistController::run: controller already used");
   used_ = true;
+  PLLBIST_SPAN("sweep.run");
 
   SweepTestbench bench(pll_config_, options_);
   if (on_testbench_) on_testbench_(bench);
@@ -200,6 +204,8 @@ MeasuredResponse BistController::run() {
   }
 
   for (double fm : options_.modulation_frequencies_hz) {
+    obs::ScopedSpan point_span("point.measure");
+    const auto point_start = std::chrono::steady_clock::now();
     bool point_done = false;
     sequencer.measurePoint(fm, [&](TestSequencer::PointResult r) {
       MeasuredPoint p;
@@ -219,8 +225,16 @@ MeasuredResponse BistController::run() {
       point_done = true;
     });
     waitFor(point_done);
-    if (progress_) progress_(result.points.back());
+    MeasuredPoint& p = result.points.back();
+    p.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - point_start).count();
+    SweepTelemetry& t = sweepTelemetry();
+    t.attempts.increment();
+    (p.timed_out ? t.points_dropped : t.points_ok).increment();
+    t.point_wall.observe(p.wall_time_s);
+    if (progress_) progress_(p);
   }
+  publishBenchCounters(bench);
   return result;
 }
 

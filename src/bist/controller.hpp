@@ -87,6 +87,10 @@ struct MeasuredPoint {
   PointQuality quality = PointQuality::Ok;
   int attempts = 1;  ///< measurement attempts consumed (1 = no retries)
   Status status;     ///< failure reason of the *last* attempt; ok() if measured
+  /// Host wall-clock seconds spent measuring this point, all attempts and
+  /// relock waits included. A timing field: excluded from the bit-identical
+  /// determinism contract and stripped from RunReport comparisons.
+  double wall_time_s = 0.0;
 };
 
 /// Result of a sweep, convertible to a BodeResponse: magnitudes referenced

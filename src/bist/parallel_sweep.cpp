@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "bist/testbench.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace pllbist::bist {
 
@@ -49,6 +51,7 @@ ParallelSweep::ParallelSweep(const pll::PllConfig& config, SweepOptions sweep,
 ResilientResponse ParallelSweep::run() {
   if (used_) throw std::logic_error("ParallelSweep::run: engine already used");
   used_ = true;
+  PLLBIST_SPAN("farm.run");
   const auto wall_start = std::chrono::steady_clock::now();
 
   const std::vector<double>& freqs = sweep_.modulation_frequencies_hz;
@@ -58,6 +61,7 @@ ResilientResponse ParallelSweep::run() {
   std::atomic<std::size_t> next{0};
   std::mutex progress_mutex;
   auto worker = [&] {
+    obs::ScopedSpan worker_span("farm.worker");
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
@@ -87,6 +91,7 @@ ResilientResponse ParallelSweep::run() {
   std::size_t jobs = options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs)
                                        : static_cast<std::size_t>(hw > 0 ? hw : 1);
   jobs = std::min(jobs, n);
+  obs::MetricsRegistry::global().gauge("bist.farm.jobs").set(static_cast<double>(jobs));
   if (jobs <= 1) {
     worker();
   } else {

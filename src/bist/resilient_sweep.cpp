@@ -7,10 +7,17 @@
 #include <memory>
 #include <stdexcept>
 
+#include "bist/telemetry.hpp"
 #include "bist/testbench.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace pllbist::bist {
+
+namespace {
+SweepTelemetry& telemetry() { return sweepTelemetry(); }
+}  // namespace
 
 Status ResilientSweepOptions::check() const {
   using K = Status::Kind;
@@ -82,6 +89,7 @@ ResilientSweep::ResilientSweep(const pll::PllConfig& config, SweepOptions sweep,
 ResilientResponse ResilientSweep::run() {
   if (used_) throw std::logic_error("ResilientSweep::run: engine already used");
   used_ = true;
+  PLLBIST_SPAN("sweep.run");
   const auto wall_start = std::chrono::steady_clock::now();
 
   const std::unique_ptr<SweepTestbench> bench_ptr =
@@ -95,10 +103,13 @@ ResilientResponse ResilientSweep::run() {
   const double fn_hz = radPerSecToHz(config_.secondOrder().omega_n_rad_per_s);
 
   ResilientResponse out;
+  // stamp runs exactly once per exit path, so it also re-homes the bench's
+  // kernel/fault counters onto the metrics registry exactly once.
   auto stamp = [&] {
     out.report.sim_time_s = c.now();
     out.report.wall_time_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    publishBenchCounters(bench);
   };
   // Step until `flag`, a deadline, or a dry queue.
   enum class StepOutcome { Done, Deadline, Stall };
@@ -132,6 +143,7 @@ ResilientResponse ResilientSweep::run() {
   if (stepUntil(nominal_done, kNoDeadline) == StepOutcome::Stall) {
     out.status = Status::makef(Status::Kind::SimulationStall,
                                "event queue ran dry at t = %g s during the nominal count", c.now());
+    telemetry().stalls.increment();
     stamp();
     return out;
   }
@@ -145,6 +157,7 @@ ResilientResponse ResilientSweep::run() {
     if (stepUntil(ref_done, kNoDeadline) == StepOutcome::Stall) {
       out.status = Status::makef(Status::Kind::SimulationStall,
                                  "event queue ran dry at t = %g s during the DC reference", c.now());
+      telemetry().stalls.increment();
       stamp();
       return out;
     }
@@ -155,6 +168,8 @@ ResilientResponse ResilientSweep::run() {
 
   for (std::size_t i = 0; i < sweep_.modulation_frequencies_hz.size(); ++i) {
     const double fm = sweep_.modulation_frequencies_hz[i];
+    obs::ScopedSpan point_span("point.measure");
+    const auto point_start = std::chrono::steady_clock::now();
     MeasuredPoint p;
     p.modulation_hz = fm;
     TestSequencer::PointResult last;
@@ -165,9 +180,12 @@ ResilientResponse ResilientSweep::run() {
     int attempts_used = 0;
 
     for (int attempt = 0; attempt < resilience_.max_attempts; ++attempt) {
+      obs::ScopedSpan attempt_span("point.attempt");
+      if (attempt > 0) PLLBIST_INSTANT("bist.retry");
       seq.setOptions(escalated(base, resilience_, attempt));
       if (on_attempt_start_) on_attempt_start_(i, attempt, bench);
       ++out.report.attempts_total;
+      telemetry().attempts.increment();
       attempts_used = attempt + 1;
 
       bool done = false;
@@ -209,9 +227,13 @@ ResilientResponse ResilientSweep::run() {
         }
         if (relock == StepOutcome::Done) {
           ++out.report.relocks;
+          telemetry().relocks.increment();
+          PLLBIST_INSTANT("bist.relock");
           relocked = true;
         } else {
           ++out.report.relock_failures;
+          telemetry().relock_failures.increment();
+          PLLBIST_INSTANT("bist.relock_failed");
           relock_failed = true;
           break;  // further attempts are futile on an unlocked loop
         }
@@ -226,12 +248,15 @@ ResilientResponse ResilientSweep::run() {
       if (relocked || attempts_used > 2) {
         p.quality = PointQuality::Degraded;
         ++out.report.degraded;
+        telemetry().points_degraded.increment();
       } else if (attempts_used == 2) {
         p.quality = PointQuality::Retried;
         ++out.report.retried;
+        telemetry().points_retried.increment();
       } else {
         p.quality = PointQuality::Ok;
         ++out.report.ok;
+        telemetry().points_ok.increment();
       }
       if (sweep_.stimulus == StimulusKind::DelayLinePm) {
         p.unity_gain_deviation_hz =
@@ -241,6 +266,7 @@ ResilientResponse ResilientSweep::run() {
       p.timed_out = true;
       p.quality = PointQuality::Dropped;
       ++out.report.dropped;
+      telemetry().points_dropped.increment();
       if (relock_failed) {
         p.status = Status::makef(
             Status::Kind::RelockFailed,
@@ -255,6 +281,9 @@ ResilientResponse ResilientSweep::run() {
                                  i, fm, attempts_used, last.status.toString().c_str());
       }
     }
+    p.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - point_start).count();
+    telemetry().point_wall.observe(p.wall_time_s);
     ++out.report.points_total;
     out.response.points.push_back(p);
     out.response.raw.push_back(std::move(last));
@@ -262,6 +291,7 @@ ResilientResponse ResilientSweep::run() {
 
     if (fatal_stall) {
       out.status = out.response.points.back().status;
+      telemetry().stalls.increment();
       break;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "obs/tracer.hpp"
 
 namespace pllbist::bist {
 
@@ -72,6 +73,24 @@ TestSequencer::TestSequencer(sim::Circuit& c, pll::CpPll& pll, StimulusHooks sti
   peak_detector.onMaxFrequency([this](double now) { handleOutputPeak(now); });
 }
 
+void TestSequencer::enterStage(Stage stage) {
+  stage_ = stage;
+  if constexpr (obs::kEnabled) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.end(stage_span_);
+    stage_span_ = 0;
+    const char* span = nullptr;
+    switch (stage) {
+      case Stage::Idle: break;
+      case Stage::Settle: span = "sequencer.settle"; break;
+      case Stage::PhaseMeasure: span = "sequencer.phase_measure"; break;
+      case Stage::AwaitPeakForHold: span = "sequencer.await_peak"; break;
+      case Stage::HoldCount: span = "sequencer.hold_count"; break;
+    }
+    if (span != nullptr) stage_span_ = tracer.begin(span);
+  }
+}
+
 void TestSequencer::measurePoint(double modulation_hz, std::function<void(PointResult)> done) {
   if (modulation_hz <= 0.0) throw std::invalid_argument("measurePoint: modulation must be positive");
   if (stage_ != Stage::Idle) throw std::logic_error("measurePoint: sequencer busy");
@@ -83,12 +102,12 @@ void TestSequencer::measurePoint(double modulation_hz, std::function<void(PointR
   const unsigned id = ++sequence_id_;
   const double period = 1.0 / modulation_hz;
 
-  stage_ = Stage::Settle;
+  enterStage(Stage::Settle);
   stimulus_.start(modulation_hz);
   circuit_.scheduleCallback(circuit_.now() + options_.settle_periods * period,
                             [this, id](double) {
                               if (id != sequence_id_ || stage_ != Stage::Settle) return;
-                              stage_ = Stage::PhaseMeasure;
+                              enterStage(Stage::PhaseMeasure);
                             });
   // Watchdog: a broken loop (no output peaks) must not hang the BIST. The
   // deadline budgets for the hold gate, which runs at wall-clock (gate)
@@ -129,14 +148,14 @@ void TestSequencer::handleOutputPeak(double now) {
     current_.phase_counts.push_back(phase_counter_.capture(now));
     waiting_for_output_peak_ = false;
     if (static_cast<int>(current_.phase_counts.size()) >= options_.average_periods)
-      stage_ = Stage::AwaitPeakForHold;
+      enterStage(Stage::AwaitPeakForHold);
     return;
   }
   if (stage_ == Stage::AwaitPeakForHold) {
     // Table 2 stage 3: park the loop at the output maximum.
     pll_.setHold(true);
     current_.hold_time_s = now;
-    stage_ = Stage::HoldCount;
+    enterStage(Stage::HoldCount);
     const unsigned id = sequence_id_;
     circuit_.scheduleCallback(now + options_.hold_to_gate_delay_s, [this, id](double) {
       if (id != sequence_id_ || stage_ != Stage::HoldCount) return;
@@ -168,7 +187,7 @@ void TestSequencer::finish(double /*now*/) {
     current_.phase_deg = mean;
   }
   if (pll_.holdAsserted()) pll_.setHold(false);
-  stage_ = Stage::Idle;
+  enterStage(Stage::Idle);
   ++sequence_id_;
   if (done_) {
     auto done = std::move(done_);

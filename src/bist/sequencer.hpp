@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -107,6 +108,11 @@ class TestSequencer {
   void handleOutputPeak(double now);
   void handleMfreqRise(double now);
   void finish(double now);
+  /// Stage transition + telemetry: closes the open stage span and opens the
+  /// next one (sequencer.settle / .phase_measure / .await_peak /
+  /// .hold_count) on the global obs::Tracer. Stages cross event callbacks,
+  /// so these are manual begin/end spans, not RAII scopes.
+  void enterStage(Stage stage);
 
   sim::Circuit& circuit_;
   pll::CpPll& pll_;
@@ -116,6 +122,7 @@ class TestSequencer {
   Options options_;
 
   Stage stage_ = Stage::Idle;
+  uint64_t stage_span_ = 0;   ///< open tracer span of the current stage (0 = none)
   unsigned sequence_id_ = 0;  ///< invalidates stale watchdogs/callbacks
   PointResult current_;
   std::function<void(PointResult)> done_;

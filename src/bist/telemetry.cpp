@@ -1,0 +1,33 @@
+#include "bist/telemetry.hpp"
+
+#include "bist/testbench.hpp"
+#include "sim/circuit.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace pllbist::bist {
+
+SweepTelemetry& sweepTelemetry() {
+  static SweepTelemetry* t = new SweepTelemetry();  // handles into the leaked global registry
+  return *t;
+}
+
+void publishBenchCounters(SweepTestbench& bench) {
+  if constexpr (!obs::kEnabled) return;
+  SweepTelemetry& t = sweepTelemetry();
+  const sim::Circuit& c = bench.circuit();
+  t.kernel_processed.add(c.processedEventCount());
+  t.kernel_delivered.add(c.deliveredEventCount());
+  t.kernel_dropped.add(c.droppedEventCount());
+  t.kernel_delayed.add(c.delayedEventCount());
+  t.kernel_swallowed.add(c.swallowedEventCount());
+  if (const sim::FaultInjector* injector = bench.installedFaultInjector()) {
+    const sim::FaultInjector::Stats& s = injector->stats();
+    t.faults_benches.increment();
+    t.faults_considered.add(s.considered);
+    t.faults_dropped.add(s.dropped);
+    t.faults_delayed.add(s.delayed);
+    t.faults_glitches.add(s.glitches);
+  }
+}
+
+}  // namespace pllbist::bist

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace pllbist::bist {
+
+class SweepTestbench;
+
+/// Handles into the global MetricsRegistry for the sweep engines, registered
+/// once per process. Naming follows the layer.component.name convention
+/// (DESIGN.md §8). Shared by BistController, ResilientSweep and (through the
+/// inner engines) ParallelSweep, so every execution path re-homes the same
+/// counters.
+struct SweepTelemetry {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter attempts = reg.counter("bist.resilient.attempts");
+  obs::Counter relocks = reg.counter("bist.resilient.relocks");
+  obs::Counter relock_failures = reg.counter("bist.resilient.relock_failures");
+  obs::Counter points_ok = reg.counter("bist.resilient.points_ok");
+  obs::Counter points_retried = reg.counter("bist.resilient.points_retried");
+  obs::Counter points_degraded = reg.counter("bist.resilient.points_degraded");
+  obs::Counter points_dropped = reg.counter("bist.resilient.points_dropped");
+  obs::Counter stalls = reg.counter("bist.resilient.stalls");
+  obs::Histogram point_wall =
+      reg.histogram("bist.sweep.point_wall_s", obs::MetricsRegistry::latencyBucketsSeconds());
+  obs::Counter kernel_processed = reg.counter("sim.kernel.events_processed");
+  obs::Counter kernel_delivered = reg.counter("sim.kernel.events_delivered");
+  obs::Counter kernel_dropped = reg.counter("sim.kernel.events_dropped");
+  obs::Counter kernel_delayed = reg.counter("sim.kernel.events_delayed");
+  obs::Counter kernel_swallowed = reg.counter("sim.kernel.events_swallowed");
+  obs::Counter faults_benches = reg.counter("sim.faults.benches");
+  obs::Counter faults_considered = reg.counter("sim.faults.considered");
+  obs::Counter faults_dropped = reg.counter("sim.faults.dropped");
+  obs::Counter faults_delayed = reg.counter("sim.faults.delayed");
+  obs::Counter faults_glitches = reg.counter("sim.faults.glitches");
+};
+
+/// The process-wide handle set (leaked, like the registry it points into).
+SweepTelemetry& sweepTelemetry();
+
+/// Re-home a bench's ad-hoc statistics — the circuit's kernel event
+/// counters and the fault injector's rule statistics — onto the registry,
+/// so RunReport and the Prometheus export read everything from one place.
+/// Each engine owns a fresh circuit, so adding the totals once at the end
+/// of a run is exact. Call exactly once per bench.
+void publishBenchCounters(SweepTestbench& bench);
+
+}  // namespace pllbist::bist

@@ -50,6 +50,13 @@ class SweepTestbench {
   /// circuit; the seed only applies to the first call).
   sim::FaultInjector& faultInjector(uint64_t seed = 1);
 
+  /// The injector created by faultInjector(), or nullptr when none was ever
+  /// attached. Telemetry reads the fault statistics through this without
+  /// accidentally instantiating an injector.
+  [[nodiscard]] const sim::FaultInjector* installedFaultInjector() const {
+    return injector_.get();
+  }
+
   [[nodiscard]] sim::SignalId stimulusOut() const { return stim_out_; }
   [[nodiscard]] sim::SignalId stimulusMarker() const { return stim_marker_; }
   /// The peak detector's MFREQ net (its falling edge is the MAXFREQ event).

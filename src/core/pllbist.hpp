@@ -39,7 +39,11 @@
 #include "control/transfer_function.hpp"
 #include "core/characterization.hpp"
 #include "core/measurement.hpp"
+#include "core/report_builder.hpp"
 #include "core/testplan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/tracer.hpp"
 #include "pll/config.hpp"
 #include "pll/cppll.hpp"
 #include "pll/faults.hpp"

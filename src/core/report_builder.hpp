@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "bist/resilient_sweep.hpp"
+#include "obs/report.hpp"
+#include "pll/config.hpp"
+
+namespace pllbist::core {
+
+/// Deterministic textual form of a device + sweep configuration, the input
+/// to the RunReport config digest. Every numeric knob is printed with
+/// shortest-round-trip precision in a fixed order, so two configurations
+/// hash equal iff they describe the same measurement.
+[[nodiscard]] std::string canonicalConfigString(const pll::PllConfig& config,
+                                                const bist::SweepOptions& sweep);
+
+/// Assemble the consolidated obs::RunReport for one finished sweep: naming
+/// and digest from the configuration, per-point rows and quality accounting
+/// from the response, kernel/fault statistics and the full metrics snapshot
+/// read from the global obs::MetricsRegistry (reset the registry before the
+/// run if the report must cover only this run). `jobs` records how the
+/// sweep was executed: -1 = serial shared-bench engine, >= 0 = point farm.
+[[nodiscard]] obs::RunReport buildRunReport(const std::string& tool, const std::string& device,
+                                            const pll::PllConfig& config,
+                                            const bist::SweepOptions& sweep, int jobs,
+                                            const bist::ResilientResponse& result);
+
+}  // namespace pllbist::core

@@ -1,0 +1,391 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace pllbist::obs {
+
+std::string jsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips every double; trim to the shortest form that still
+  // parses back bit-identically so documents stay readable.
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) os_ << ',';
+    wrote_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  separate();
+  os_ << '{';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  wrote_element_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  separate();
+  os_ << '[';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  wrote_element_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  os_ << jsonQuote(k) << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  os_ << jsonQuote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  os_ << jsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue.
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [key, value] : object)
+    if (key == k) return &value;
+  return nullptr;
+}
+
+JsonValue* JsonValue::find(std::string_view k) {
+  return const_cast<JsonValue*>(static_cast<const JsonValue*>(this)->find(k));
+}
+
+bool JsonValue::erase(std::string_view k) {
+  if (type != Type::Object) return false;
+  for (auto it = object.begin(); it != object.end(); ++it) {
+    if (it->first == k) {
+      object.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonValue::write(std::ostream& os) const {
+  switch (type) {
+    case Type::Null: os << "null"; break;
+    case Type::Bool: os << (boolean ? "true" : "false"); break;
+    case Type::Number: os << jsonNumber(number); break;
+    case Type::String: os << jsonQuote(string); break;
+    case Type::Array: {
+      os << '[';
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i) os << ',';
+        array[i].write(os);
+      }
+      os << ']';
+      break;
+    }
+    case Type::Object: {
+      os << '{';
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i) os << ',';
+        os << jsonQuote(object[i].first) << ':';
+        object[i].second.write(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent, depth-bounded.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status parse(JsonValue& out) {
+    Status s = parseValue(out, 0);
+    if (!s.ok()) return s;
+    skipWs();
+    if (pos_ != text_.size())
+      return fail("trailing characters after the top-level value");
+    return Status();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status fail(const char* why) const {
+    return Status::makef(Status::Kind::InvalidArgument, "JSON parse error at offset %zu: %s", pos_,
+                         why);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parseObject(out, depth);
+    if (c == '[') return parseArray(out, depth);
+    if (c == '"') {
+      out.type = JsonValue::Type::String;
+      return parseString(out.string);
+    }
+    if (consumeWord("true")) {
+      out.type = JsonValue::Type::Bool;
+      out.boolean = true;
+      return Status();
+    }
+    if (consumeWord("false")) {
+      out.type = JsonValue::Type::Bool;
+      out.boolean = false;
+      return Status();
+    }
+    if (consumeWord("null")) {
+      out.type = JsonValue::Type::Null;
+      return Status();
+    }
+    return parseNumber(out);
+  }
+
+  Status parseObject(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    skipWs();
+    if (consume('}')) return Status();
+    for (;;) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key string");
+      std::string key;
+      Status s = parseString(key);
+      if (!s.ok()) return s;
+      skipWs();
+      if (!consume(':')) return fail("expected ':' after object key");
+      JsonValue member;
+      s = parseValue(member, depth + 1);
+      if (!s.ok()) return s;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume('}')) return Status();
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parseArray(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    skipWs();
+    if (consume(']')) return Status();
+    for (;;) {
+      JsonValue element;
+      Status s = parseValue(element, depth + 1);
+      if (!s.ok()) return s;
+      out.array.push_back(std::move(element));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume(']')) return Status();
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parseString(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status();
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are passed through individually;
+          // our documents never emit them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                                   text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out.type = JsonValue::Type::Number;
+    out.number = v;
+    return Status();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status parseJson(std::string_view text, JsonValue& out) {
+  out = JsonValue();
+  return Parser(text).parse(out);
+}
+
+}  // namespace pllbist::obs

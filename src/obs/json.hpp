@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace pllbist::obs {
+
+/// Quote + escape a string for JSON output ("ab\"c" -> "\"ab\\\"c\"").
+[[nodiscard]] std::string jsonQuote(std::string_view s);
+
+/// Shortest-round-trip textual form of a double that is itself valid JSON
+/// (NaN/Inf are not representable in JSON; they serialise as null).
+[[nodiscard]] std::string jsonNumber(double v);
+
+/// Streaming JSON writer with automatic comma placement. Keys and values
+/// are emitted in call order, so identical call sequences produce
+/// byte-identical documents — the property the RunReport determinism test
+/// relies on.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  /// Key inside an object; must be followed by exactly one value.
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+ private:
+  void separate();
+  std::ostream& os_;
+  // One level per open container: true once the first element was written.
+  std::vector<bool> wrote_element_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node. Objects preserve member order.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool isNull() const { return type == Type::Null; }
+  [[nodiscard]] bool isBool() const { return type == Type::Bool; }
+  [[nodiscard]] bool isNumber() const { return type == Type::Number; }
+  [[nodiscard]] bool isString() const { return type == Type::String; }
+  [[nodiscard]] bool isArray() const { return type == Type::Array; }
+  [[nodiscard]] bool isObject() const { return type == Type::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] JsonValue* find(std::string_view key);
+  /// Remove an object member; returns true if it existed.
+  bool erase(std::string_view key);
+
+  /// Canonical re-serialisation (same formatting rules as JsonWriter).
+  void write(std::ostream& os) const;
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Parse a complete JSON document. On failure returns InvalidArgument with
+/// the byte offset and the reason; trailing garbage is an error.
+[[nodiscard]] Status parseJson(std::string_view text, JsonValue& out);
+
+}  // namespace pllbist::obs

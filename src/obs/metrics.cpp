@@ -1,0 +1,350 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pllbist::obs {
+
+namespace detail {
+
+namespace {
+/// Never-reused metric identity: the thread-local cell cache keys on this,
+/// so a stale cache entry from a destroyed registry can never alias a
+/// metric created later at the same address.
+std::atomic<uint64_t> g_next_metric_uid{1};
+}  // namespace
+
+enum class Kind { Counter, Gauge, Histogram };
+
+struct Metric {
+  uint64_t uid = g_next_metric_uid.fetch_add(1, std::memory_order_relaxed);
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::vector<double> bounds;           // histograms only
+  std::atomic<uint64_t> gauge_clock{0};  // cross-thread last-writer ordering
+  std::mutex* registry_mutex = nullptr;
+  std::deque<Cell> cells;  // deque: growth never moves existing cells
+
+  Cell& cellForThisThread();
+};
+
+namespace {
+
+struct TlCache {
+  // metric uid -> this thread's cell. One entry per (thread, metric) pair.
+  std::unordered_map<uint64_t, Cell*> map;
+  // Single-entry fast path for tight loops hammering one metric.
+  uint64_t last_uid = 0;
+  Cell* last_cell = nullptr;
+};
+thread_local TlCache tl_cache;
+
+}  // namespace
+
+Cell& Metric::cellForThisThread() {
+  TlCache& tl = tl_cache;
+  if (tl.last_uid == uid) return *tl.last_cell;
+  auto it = tl.map.find(uid);
+  if (it == tl.map.end()) {
+    std::lock_guard<std::mutex> guard(*registry_mutex);
+    Cell& cell = cells.emplace_back();
+    if (kind == Kind::Histogram) {
+      // +1 overflow bucket; vector<atomic> is sized once here and never
+      // resized, so lock-free readers see a stable array. Zeroed explicitly:
+      // std::atomic's default constructor does not initialise the value on
+      // every standard library this builds against.
+      cell.buckets = std::vector<std::atomic<uint64_t>>(bounds.size() + 1);
+      for (std::atomic<uint64_t>& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+    }
+    it = tl.map.emplace(uid, &cell).first;
+  }
+  tl.last_uid = uid;
+  tl.last_cell = it->second;
+  return *it->second;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Handles. All cell traffic is owner-thread relaxed stores; snapshot() does
+// relaxed loads. No fetch_add needed: a cell has exactly one writer.
+
+void Counter::add(uint64_t delta) const {
+  if constexpr (!kEnabled) return;
+  if (metric_ == nullptr || delta == 0) return;
+  detail::Cell& c = metric_->cellForThisThread();
+  c.count.store(c.count.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const {
+  if constexpr (!kEnabled) return;
+  if (metric_ == nullptr) return;
+  detail::Cell& c = metric_->cellForThisThread();
+  c.sum.store(value, std::memory_order_relaxed);
+  c.gauge_seq.store(metric_->gauge_clock.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const {
+  if constexpr (!kEnabled) return;
+  if (metric_ == nullptr) return;
+  detail::Cell& c = metric_->cellForThisThread();
+  const std::vector<double>& bounds = metric_->bounds;
+  std::size_t bucket = bounds.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  auto relaxed_bump = [](std::atomic<uint64_t>& a) {
+    a.store(a.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  };
+  const uint64_t n = c.count.load(std::memory_order_relaxed);
+  if (n == 0 || value < c.min.load(std::memory_order_relaxed))
+    c.min.store(value, std::memory_order_relaxed);
+  if (n == 0 || value > c.max.load(std::memory_order_relaxed))
+    c.max.store(value, std::memory_order_relaxed);
+  c.sum.store(c.sum.load(std::memory_order_relaxed) + value, std::memory_order_relaxed);
+  relaxed_bump(c.buckets[bucket]);
+  relaxed_bump(c.count);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::deque<std::unique_ptr<detail::Metric>> metrics;  // registration order
+  std::unordered_map<std::string, detail::Metric*> by_name;
+
+  detail::Metric* findOrCreate(std::string_view name, detail::Kind kind,
+                               std::vector<double> bounds) {
+    std::lock_guard<std::mutex> guard(mutex);
+    auto it = by_name.find(std::string(name));
+    if (it != by_name.end()) {
+      detail::Metric* m = it->second;
+      if (m->kind != kind)
+        throw std::invalid_argument("MetricsRegistry: metric '" + std::string(name) +
+                                    "' re-registered with a different kind");
+      if (kind == detail::Kind::Histogram && m->bounds != bounds)
+        throw std::invalid_argument("MetricsRegistry: histogram '" + std::string(name) +
+                                    "' re-registered with different buckets");
+      return m;
+    }
+    auto m = std::make_unique<detail::Metric>();
+    m->name = std::string(name);
+    m->kind = kind;
+    m->bounds = std::move(bounds);
+    m->registry_mutex = &mutex;
+    detail::Metric* raw = m.get();
+    metrics.push_back(std::move(m));
+    by_name.emplace(raw->name, raw);
+    return raw;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(impl_->findOrCreate(name, detail::Kind::Counter, {}));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(impl_->findOrCreate(name, detail::Kind::Gauge, {}));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  if (bounds.empty() || bounds.size() > kMaxHistogramBuckets)
+    throw std::invalid_argument("MetricsRegistry: histogram needs 1.." +
+                                std::to_string(kMaxHistogramBuckets) + " bucket bounds");
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
+    throw std::invalid_argument("MetricsRegistry: histogram bounds must be strictly ascending");
+  return Histogram(impl_->findOrCreate(name, detail::Kind::Histogram, std::move(bounds)));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> guard(impl_->mutex);
+  for (const auto& m : impl_->metrics) {
+    switch (m->kind) {
+      case detail::Kind::Counter: {
+        CounterValue v;
+        v.name = m->name;
+        for (const detail::Cell& c : m->cells)
+          v.value += c.count.load(std::memory_order_relaxed);
+        out.counters.push_back(std::move(v));
+        break;
+      }
+      case detail::Kind::Gauge: {
+        GaugeValue v;
+        v.name = m->name;
+        uint64_t best_seq = 0;
+        for (const detail::Cell& c : m->cells) {
+          const uint64_t seq = c.gauge_seq.load(std::memory_order_relaxed);
+          if (seq > best_seq) {
+            best_seq = seq;
+            v.value = c.sum.load(std::memory_order_relaxed);
+          }
+        }
+        v.ever_set = best_seq > 0;
+        out.gauges.push_back(std::move(v));
+        break;
+      }
+      case detail::Kind::Histogram: {
+        HistogramValue v;
+        v.name = m->name;
+        v.bounds = m->bounds;
+        v.buckets.assign(m->bounds.size() + 1, 0);
+        v.min = std::numeric_limits<double>::infinity();
+        v.max = -std::numeric_limits<double>::infinity();
+        for (const detail::Cell& c : m->cells) {
+          const uint64_t n = c.count.load(std::memory_order_relaxed);
+          if (n == 0) continue;
+          v.count += n;
+          v.sum += c.sum.load(std::memory_order_relaxed);
+          v.min = std::min(v.min, c.min.load(std::memory_order_relaxed));
+          v.max = std::max(v.max, c.max.load(std::memory_order_relaxed));
+          for (std::size_t i = 0; i < c.buckets.size() && i < v.buckets.size(); ++i)
+            v.buckets[i] += c.buckets[i].load(std::memory_order_relaxed);
+        }
+        if (v.count == 0) {
+          v.min = 0.0;
+          v.max = 0.0;
+        }
+        out.histograms.push_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> guard(impl_->mutex);
+  for (const auto& m : impl_->metrics) {
+    m->gauge_clock.store(0, std::memory_order_relaxed);
+    for (detail::Cell& c : m->cells) {
+      c.count.store(0, std::memory_order_relaxed);
+      c.sum.store(0.0, std::memory_order_relaxed);
+      c.min.store(0.0, std::memory_order_relaxed);
+      c.max.store(0.0, std::memory_order_relaxed);
+      c.gauge_seq.store(0, std::memory_order_relaxed);
+      for (std::atomic<uint64_t>& b : c.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+std::vector<double> MetricsRegistry::latencyBucketsSeconds() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0};
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot queries and exporters.
+
+const CounterValue* MetricsSnapshot::findCounter(std::string_view name) const& {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeValue* MetricsSnapshot::findGauge(std::string_view name) const& {
+  for (const GaugeValue& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramValue* MetricsSnapshot::findHistogram(std::string_view name) const& {
+  for (const HistogramValue& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+double HistogramValue::quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max;
+  if (q <= 0.0) return min;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate inside this bucket. The first populated bucket starts
+      // at the recorded min; the overflow bucket ends at the recorded max.
+      const double lo = (cumulative == 0) ? min : (i == 0 ? min : bounds[i - 1]);
+      const double hi = (i < bounds.size()) ? bounds[i] : max;
+      const double f = (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + f * (hi - lo), min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted convention maps
+/// '.' and '-' onto '_'.
+std::string promName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == '.' || c == '-') c = '_';
+  return out;
+}
+
+void promValue(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsSnapshot::writePrometheus(std::ostream& os) const {
+  for (const CounterValue& c : counters) {
+    const std::string n = promName(c.name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c.value << '\n';
+  }
+  for (const GaugeValue& g : gauges) {
+    if (!g.ever_set) continue;
+    const std::string n = promName(g.name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ';
+    promValue(os, g.value);
+    os << '\n';
+  }
+  for (const HistogramValue& h : histograms) {
+    const std::string n = promName(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << n << "_bucket{le=\"";
+      promValue(os, h.bounds[i]);
+      os << "\"} " << cumulative << '\n';
+    }
+    cumulative += h.buckets.empty() ? 0 : h.buckets.back();
+    os << n << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << n << "_sum ";
+    promValue(os, h.sum);
+    os << '\n' << n << "_count " << h.count << '\n';
+  }
+}
+
+}  // namespace pllbist::obs

@@ -1,0 +1,324 @@
+#include "obs/report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace pllbist::obs {
+
+uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+std::string digestHex(uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void writeQuality(JsonWriter& w, const RunReport::Quality& q) {
+  w.beginObject();
+  w.key("points_total").value(q.points_total);
+  w.key("ok").value(q.ok);
+  w.key("retried").value(q.retried);
+  w.key("degraded").value(q.degraded);
+  w.key("dropped").value(q.dropped);
+  w.key("attempts_total").value(q.attempts_total);
+  w.key("relocks").value(q.relocks);
+  w.key("relock_failures").value(q.relock_failures);
+  w.key("sim_time_s").value(q.sim_time_s);
+  w.key("wall_time_s").value(q.wall_time_s);
+  w.endObject();
+}
+
+}  // namespace
+
+void writeMetricsJson(JsonWriter& w, const MetricsSnapshot& m) {
+  w.beginObject();
+  w.key("counters").beginArray();
+  for (const CounterValue& c : m.counters) {
+    w.beginObject();
+    w.key("name").value(c.name);
+    w.key("value").value(static_cast<uint64_t>(c.value));
+    w.endObject();
+  }
+  w.endArray();
+  w.key("gauges").beginArray();
+  for (const GaugeValue& g : m.gauges) {
+    if (!g.ever_set) continue;
+    w.beginObject();
+    w.key("name").value(g.name);
+    w.key("value").value(g.value);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("histograms").beginArray();
+  for (const HistogramValue& h : m.histograms) {
+    w.beginObject();
+    w.key("name").value(h.name);
+    w.key("bounds").beginArray();
+    for (double b : h.bounds) w.value(b);
+    w.endArray();
+    w.key("buckets").beginArray();
+    for (uint64_t b : h.buckets) w.value(static_cast<uint64_t>(b));
+    w.endArray();
+    w.key("count").value(static_cast<uint64_t>(h.count));
+    w.key("sum").value(h.sum);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+void RunReport::writeJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.beginObject();
+  w.key("schema").value(kRunReportSchema);
+  w.key("tool").value(tool);
+  w.key("config").beginObject();
+  w.key("device").value(device);
+  w.key("stimulus").value(stimulus);
+  w.key("digest").value(digestHex(config_digest));
+  w.key("jobs").value(jobs);
+  w.endObject();
+  w.key("status").value(sweep_status);
+  w.key("quality");
+  writeQuality(w, quality);
+  w.key("points").beginArray();
+  for (const Point& p : points) {
+    w.beginObject();
+    w.key("fm_hz").value(p.fm_hz);
+    w.key("deviation_hz").value(p.deviation_hz);
+    w.key("phase_deg").value(p.phase_deg);
+    w.key("quality").value(p.quality);
+    w.key("attempts").value(p.attempts);
+    w.key("status").value(p.status);
+    if (!p.status_context.empty()) w.key("status_context").value(p.status_context);
+    w.key("wall_time_s").value(p.wall_time_s);
+    w.endObject();
+  }
+  w.endArray();
+  if (faults.has_value()) {
+    w.key("faults").beginObject();
+    w.key("considered").value(static_cast<uint64_t>(faults->considered));
+    w.key("dropped").value(static_cast<uint64_t>(faults->dropped));
+    w.key("delayed").value(static_cast<uint64_t>(faults->delayed));
+    w.key("glitches").value(static_cast<uint64_t>(faults->glitches));
+    w.endObject();
+  }
+  w.key("kernel").beginObject();
+  w.key("processed").value(static_cast<uint64_t>(kernel.processed));
+  w.key("delivered").value(static_cast<uint64_t>(kernel.delivered));
+  w.key("dropped").value(static_cast<uint64_t>(kernel.dropped));
+  w.key("delayed").value(static_cast<uint64_t>(kernel.delayed));
+  w.key("swallowed").value(static_cast<uint64_t>(kernel.swallowed));
+  w.endObject();
+  w.key("metrics");
+  writeMetricsJson(w, metrics);
+  w.endObject();
+  os << '\n';
+}
+
+std::string RunReport::toJson() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation.
+
+namespace {
+
+Status violation(const char* what) {
+  return Status::makef(Status::Kind::InvalidArgument, "RunReport schema: %s", what);
+}
+
+Status requireNumbers(const JsonValue& obj, std::initializer_list<const char*> keys,
+                      const char* where) {
+  for (const char* k : keys) {
+    const JsonValue* v = obj.find(k);
+    if (v == nullptr || !v->isNumber())
+      return Status::makef(Status::Kind::InvalidArgument,
+                           "RunReport schema: %s.%s missing or not a number", where, k);
+  }
+  return Status();
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+Status validateRunReportJson(const JsonValue& root) {
+  if (!root.isObject()) return violation("top level must be an object");
+
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->isString()) return violation("missing 'schema' string");
+  if (schema->string != kRunReportSchema)
+    return Status::makef(Status::Kind::InvalidArgument,
+                         "RunReport schema: unsupported schema '%s' (expected '%s')",
+                         schema->string.c_str(), kRunReportSchema);
+
+  const JsonValue* tool = root.find("tool");
+  if (tool == nullptr || !tool->isString() || tool->string.empty())
+    return violation("missing 'tool' string");
+
+  const JsonValue* config = root.find("config");
+  if (config == nullptr || !config->isObject()) return violation("missing 'config' object");
+  for (const char* k : {"device", "stimulus", "digest"}) {
+    const JsonValue* v = config->find(k);
+    if (v == nullptr || !v->isString())
+      return Status::makef(Status::Kind::InvalidArgument,
+                           "RunReport schema: config.%s missing or not a string", k);
+  }
+  const JsonValue* digest = config->find("digest");
+  if (digest->string.size() < 3 || digest->string.substr(0, 2) != "0x")
+    return violation("config.digest must be a 0x-prefixed hex string");
+  for (char c : digest->string.substr(2))
+    if (!std::isxdigit(static_cast<unsigned char>(c)))
+      return violation("config.digest must be a 0x-prefixed hex string");
+  const JsonValue* jobs = config->find("jobs");
+  if (jobs == nullptr || !jobs->isNumber()) return violation("config.jobs missing or not a number");
+
+  const JsonValue* status = root.find("status");
+  if (status == nullptr || !status->isString()) return violation("missing 'status' string");
+
+  const JsonValue* quality = root.find("quality");
+  if (quality == nullptr || !quality->isObject()) return violation("missing 'quality' object");
+  Status s = requireNumbers(*quality,
+                            {"points_total", "ok", "retried", "degraded", "dropped",
+                             "attempts_total", "relocks", "relock_failures", "sim_time_s"},
+                            "quality");
+  if (!s.ok()) return s;
+  // wall_time_s is a documented timing field: required in a freshly emitted
+  // report but legitimately absent after stripTimingFields().
+  const JsonValue* qw = quality->find("wall_time_s");
+  if (qw != nullptr && !qw->isNumber()) return violation("quality.wall_time_s must be a number");
+
+  const JsonValue* points = root.find("points");
+  if (points == nullptr || !points->isArray()) return violation("missing 'points' array");
+  int counted[4] = {0, 0, 0, 0};  // ok, retried, degraded, dropped
+  for (const JsonValue& p : points->array) {
+    if (!p.isObject()) return violation("points[] entries must be objects");
+    s = requireNumbers(p, {"fm_hz", "deviation_hz", "phase_deg", "attempts"}, "points[]");
+    if (!s.ok()) return s;
+    const JsonValue* pq = p.find("quality");
+    if (pq == nullptr || !pq->isString()) return violation("points[].quality missing");
+    if (pq->string == "ok") ++counted[0];
+    else if (pq->string == "retried") ++counted[1];
+    else if (pq->string == "degraded") ++counted[2];
+    else if (pq->string == "dropped") ++counted[3];
+    else return violation("points[].quality must be ok/retried/degraded/dropped");
+    const JsonValue* ps = p.find("status");
+    if (ps == nullptr || !ps->isString()) return violation("points[].status missing");
+    const JsonValue* pw = p.find("wall_time_s");
+    if (pw != nullptr && !pw->isNumber()) return violation("points[].wall_time_s must be a number");
+  }
+  auto qint = [&](const char* k) { return static_cast<int>(quality->find(k)->number); };
+  if (qint("points_total") != static_cast<int>(points->array.size()))
+    return violation("quality.points_total != points array length");
+  if (qint("ok") != counted[0] || qint("retried") != counted[1] ||
+      qint("degraded") != counted[2] || qint("dropped") != counted[3])
+    return violation("quality counters disagree with per-point quality labels");
+
+  const JsonValue* faults = root.find("faults");
+  if (faults != nullptr) {
+    if (!faults->isObject()) return violation("'faults' must be an object");
+    s = requireNumbers(*faults, {"considered", "dropped", "delayed", "glitches"}, "faults");
+    if (!s.ok()) return s;
+  }
+
+  const JsonValue* kernel = root.find("kernel");
+  if (kernel == nullptr || !kernel->isObject()) return violation("missing 'kernel' object");
+  s = requireNumbers(*kernel, {"processed", "delivered", "dropped", "delayed", "swallowed"},
+                     "kernel");
+  if (!s.ok()) return s;
+  if (kernel->find("processed")->number < kernel->find("delivered")->number)
+    return violation("kernel.processed < kernel.delivered");
+
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || !metrics->isObject()) return violation("missing 'metrics' object");
+  for (const char* k : {"counters", "gauges", "histograms"}) {
+    const JsonValue* arr = metrics->find(k);
+    if (arr == nullptr || !arr->isArray())
+      return Status::makef(Status::Kind::InvalidArgument,
+                           "RunReport schema: metrics.%s missing or not an array", k);
+    for (const JsonValue& m : arr->array) {
+      if (!m.isObject()) return violation("metrics entries must be objects");
+      const JsonValue* name = m.find("name");
+      if (name == nullptr || !name->isString() || name->string.empty())
+        return violation("metrics entries need a non-empty name");
+    }
+  }
+  for (const JsonValue& h : metrics->find("histograms")->array) {
+    const JsonValue* bounds = h.find("bounds");
+    const JsonValue* buckets = h.find("buckets");
+    if (bounds == nullptr || !bounds->isArray() || buckets == nullptr || !buckets->isArray())
+      return violation("histogram entries need bounds and buckets arrays");
+    if (buckets->array.size() != bounds->array.size() + 1)
+      return violation("histogram buckets length must be bounds length + 1");
+    s = requireNumbers(h, {"count", "sum", "min", "max"}, "metrics.histograms[]");
+    if (!s.ok()) return s;
+    double bucket_sum = 0.0;
+    for (const JsonValue& b : buckets->array) {
+      if (!b.isNumber()) return violation("histogram buckets must be numbers");
+      bucket_sum += b.number;
+    }
+    if (bucket_sum != h.find("count")->number)
+      return violation("histogram count != sum of buckets");
+  }
+  return Status();
+}
+
+Status validateRunReportText(std::string_view text) {
+  JsonValue root;
+  Status s = parseJson(text, root);
+  if (!s.ok()) return s;
+  return validateRunReportJson(root);
+}
+
+const std::vector<std::string>& runReportTimingFields() {
+  static const std::vector<std::string> fields = {
+      "quality.wall_time_s",
+      "points[].wall_time_s",
+      "metrics.counters[name=*_wall_s]",
+      "metrics.gauges[name=*_wall_s]",
+      "metrics.histograms[name=*_wall_s]",
+  };
+  return fields;
+}
+
+void stripTimingFields(JsonValue& root) {
+  if (JsonValue* quality = root.find("quality")) quality->erase("wall_time_s");
+  if (JsonValue* points = root.find("points"); points != nullptr && points->isArray())
+    for (JsonValue& p : points->array) p.erase("wall_time_s");
+  if (JsonValue* metrics = root.find("metrics")) {
+    for (const char* family : {"counters", "gauges", "histograms"}) {
+      JsonValue* arr = metrics->find(family);
+      if (arr == nullptr || !arr->isArray()) continue;
+      std::vector<JsonValue> kept;
+      for (JsonValue& m : arr->array) {
+        const JsonValue* name = m.find("name");
+        if (name != nullptr && name->isString() && endsWith(name->string, "_wall_s")) continue;
+        kept.push_back(std::move(m));
+      }
+      arr->array = std::move(kept);
+    }
+  }
+}
+
+}  // namespace pllbist::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace pllbist::obs {
+
+class JsonValue;
+class JsonWriter;
+
+/// Schema identifier written into (and required from) every report.
+inline constexpr const char* kRunReportSchema = "pllbist.run_report/1";
+
+/// Machine-readable record of how one run behaved: configuration digest,
+/// per-point quality + timing, sweep-level quality accounting, fault and
+/// kernel statistics, and the full metrics snapshot. This is the
+/// consolidated artifact `sweep_cli --report out.json` emits; the obs layer
+/// keeps it free of bist/pll types so any layer can assemble one (see
+/// core::buildRunReport for the sweep adapter).
+struct RunReport {
+  /// One measured frequency point.
+  struct Point {
+    double fm_hz = 0.0;
+    double deviation_hz = 0.0;
+    double phase_deg = 0.0;
+    std::string quality;  ///< "ok" / "retried" / "degraded" / "dropped"
+    int attempts = 0;
+    std::string status;       ///< Status kind name ("ok" when measured)
+    std::string status_context;  ///< human-readable failure detail, may be empty
+    double wall_time_s = 0.0;    ///< host time spent on this point (timing field)
+  };
+
+  /// Sweep-level quality accounting (mirrors bist::SweepQualityReport).
+  struct Quality {
+    int points_total = 0;
+    int ok = 0;
+    int retried = 0;
+    int degraded = 0;
+    int dropped = 0;
+    int attempts_total = 0;
+    int relocks = 0;
+    int relock_failures = 0;
+    double sim_time_s = 0.0;
+    double wall_time_s = 0.0;  ///< timing field
+  };
+
+  /// sim::FaultInjector statistics, when a fault campaign was attached.
+  struct FaultStats {
+    uint64_t considered = 0;
+    uint64_t dropped = 0;
+    uint64_t delayed = 0;
+    uint64_t glitches = 0;
+  };
+
+  /// Event-kernel counters summed over every circuit the run built.
+  struct KernelStats {
+    uint64_t processed = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t delayed = 0;
+    uint64_t swallowed = 0;
+  };
+
+  std::string tool;      ///< producing binary, e.g. "sweep_cli"
+  std::string device;    ///< preset name ("reference", "fast", ...)
+  std::string stimulus;  ///< stimulus kind name
+  /// FNV-1a digest over the canonical textual form of the device
+  /// configuration; two reports with equal digests measured the same
+  /// device. Serialised as a hex string.
+  uint64_t config_digest = 0;
+  int jobs = -1;  ///< -1 = serial shared-bench engine, >= 0 = point farm
+  std::string sweep_status = "ok";  ///< fatal sweep Status kind name
+
+  Quality quality;
+  std::vector<Point> points;
+  std::optional<FaultStats> faults;
+  KernelStats kernel;
+  MetricsSnapshot metrics;
+
+  /// Serialise as schema-conformant JSON. Field order is fixed, numbers use
+  /// shortest-round-trip formatting: identical reports serialise to
+  /// byte-identical documents.
+  void writeJson(std::ostream& os) const;
+  [[nodiscard]] std::string toJson() const;
+};
+
+/// Validate a parsed document against the RunReport schema: required keys,
+/// value types, quality-counter consistency (ok+retried+degraded+dropped ==
+/// points_total, points array length matches), histogram bucket/bound
+/// arity. Returns InvalidArgument naming the first violated rule.
+[[nodiscard]] Status validateRunReportJson(const JsonValue& root);
+
+/// Convenience: parse + validate a JSON document in one call.
+[[nodiscard]] Status validateRunReportText(std::string_view text);
+
+/// The timing-dependent JSON paths of a report, as documented contract:
+/// "quality.wall_time_s", "points[].wall_time_s", and every metric whose
+/// name ends in "_wall_s". stripTimingFields() removes exactly these (used
+/// by the determinism test; exposed so external diff tooling can apply the
+/// same rule).
+[[nodiscard]] const std::vector<std::string>& runReportTimingFields();
+void stripTimingFields(JsonValue& root);
+
+/// FNV-1a over a byte string (the config-digest primitive).
+[[nodiscard]] uint64_t fnv1a64(std::string_view bytes);
+
+/// Write one MetricsSnapshot as the RunReport `metrics` object
+/// ({counters:[],gauges:[],histograms:[]}); exposed so other report shapes
+/// (e.g. the production-screening lot report) embed the identical section.
+void writeMetricsJson(JsonWriter& w, const MetricsSnapshot& m);
+
+}  // namespace pllbist::obs

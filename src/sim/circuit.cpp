@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "obs/tracer.hpp"
 
 namespace pllbist::sim {
 
@@ -122,6 +123,9 @@ bool Circuit::step() {
 }
 
 bool Circuit::run(double t_end) {
+  // One span per run() batch, never per event: the per-event path stays
+  // untouched so kernel throughput is identical with tracing idle.
+  PLLBIST_SPAN("sim.circuit.run");
   PLLBIST_ASSERT(t_end >= now_);
   if (stop_requested_) {
     stop_requested_ = false;

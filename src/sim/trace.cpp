@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -23,6 +24,7 @@ void Trace::clear() {
 }
 
 double Trace::at(double time_s) const {
+  if (times_.empty()) return std::numeric_limits<double>::quiet_NaN();
   return dsp::interpolateAt(times_, values_, time_s);
 }
 

@@ -22,6 +22,9 @@ class Trace {
   void clear();
 
   /// Value at an arbitrary time by linear interpolation (clamped ends).
+  /// Contract for an empty trace: returns quiet NaN — an empty trace has
+  /// no value anywhere, and NaN propagates that honestly through downstream
+  /// arithmetic instead of throwing or asserting.
   [[nodiscard]] double at(double time_s) const;
 
   /// Keep only samples with time >= t0 (used to discard settling).

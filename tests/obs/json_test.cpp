@@ -1,0 +1,84 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace pllbist::obs {
+namespace {
+
+TEST(Json, NumberRoundTripsShortest) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 1e-300, 1e300, 3.141592653589793, 1.0 / 3.0}) {
+    const std::string s = jsonNumber(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(jsonQuote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(jsonQuote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(Json, WriterPlacesCommas) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.key("a").value(1);
+  w.key("b").beginArray().value(true).value("x").null().endArray();
+  w.key("c").beginObject().endObject();
+  w.endObject();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":[true,"x",null],"c":{}})");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text = R"({"a":1.5,"b":[true,"x",null],"c":{"d":-2}})";
+  JsonValue doc;
+  ASSERT_TRUE(parseJson(text, doc).ok());
+  EXPECT_EQ(doc.dump(), text);
+  EXPECT_DOUBLE_EQ(doc.find("a")->number, 1.5);
+  EXPECT_TRUE(doc.find("b")->array[0].boolean);
+  EXPECT_TRUE(doc.find("b")->array[2].isNull());
+  EXPECT_DOUBLE_EQ(doc.find("c")->find("d")->number, -2.0);
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  JsonValue doc;
+  // é -> 2-byte UTF-8, 中 -> 3-byte UTF-8.
+  ASSERT_TRUE(parseJson("[\"A\\u00e9\\u4e2d\"]", doc).ok());
+  EXPECT_EQ(doc.array[0].string, "A\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, ParseErrorsNameOffset) {
+  JsonValue doc;
+  const Status s = parseJson("{\"a\":}", doc);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.context().find("offset"), std::string::npos);
+  EXPECT_FALSE(parseJson("[1,2] garbage", doc).ok());
+  EXPECT_FALSE(parseJson("", doc).ok());
+  EXPECT_FALSE(parseJson("{\"a\":1,}", doc).ok());
+}
+
+TEST(Json, ParseDepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  JsonValue doc;
+  EXPECT_FALSE(parseJson(deep, doc).ok());
+}
+
+TEST(Json, EraseRemovesMember) {
+  JsonValue doc;
+  ASSERT_TRUE(parseJson(R"({"a":1,"b":2})", doc).ok());
+  EXPECT_TRUE(doc.erase("a"));
+  EXPECT_FALSE(doc.erase("a"));
+  EXPECT_EQ(doc.dump(), R"({"b":2})");
+}
+
+}  // namespace
+}  // namespace pllbist::obs

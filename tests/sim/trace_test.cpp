@@ -47,6 +47,17 @@ TEST(Trace, ClearEmpties) {
   EXPECT_TRUE(t.empty());
 }
 
+// Documented contract: sampling an empty trace yields NaN (no samples means
+// no answer), never a throw — probes that recorded nothing stay queryable.
+TEST(Trace, AtOnEmptyTraceReturnsNaN) {
+  Trace t("empty");
+  EXPECT_TRUE(std::isnan(t.at(0.0)));
+  EXPECT_TRUE(std::isnan(t.at(-1.0)));
+  t.append(1.0, 2.0);
+  t.clear();
+  EXPECT_TRUE(std::isnan(t.at(1.0)));
+}
+
 TEST(WriteTracesCsv, HeaderAndRows) {
   Trace a("a"), b("b");
   a.append(0.0, 1.0);

@@ -1,0 +1,149 @@
+// RunReport schema checker: validates that a JSON document conforms to the
+// pllbist.run_report/1 schema (see obs/report.hpp). Pure C++, no external
+// tooling — CI and the obs test suite use it to round-trip reports that
+// sweep_cli --report emits.
+//
+//   report_check file.json [more.json ...]   validate files, exit 0 iff all pass
+//   report_check --selftest                  build a report in-process, serialise,
+//                                            re-parse, validate, and check that
+//                                            stripTimingFields removes exactly
+//                                            the documented timing paths
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace pllbist;
+
+int checkFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report_check: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Status s = obs::validateRunReportText(buf.str());
+  if (!s.ok()) {
+    std::fprintf(stderr, "report_check: %s: %s\n", path, s.toString().c_str());
+    return 1;
+  }
+  std::printf("report_check: %s: ok\n", path);
+  return 0;
+}
+
+int selftest() {
+  // Assemble a small but fully populated report by hand: two points, a
+  // fault section, one histogram — every schema branch exercised.
+  obs::RunReport rep;
+  rep.tool = "report_check";
+  rep.device = "selftest";
+  rep.stimulus = "multi-tone-fsk";
+  rep.config_digest = obs::fnv1a64("selftest-config");
+  rep.jobs = 2;
+  rep.quality.points_total = 2;
+  rep.quality.ok = 1;
+  rep.quality.dropped = 1;
+  rep.quality.attempts_total = 3;
+  rep.quality.sim_time_s = 1.5;
+  rep.quality.wall_time_s = 0.25;
+  obs::RunReport::Point p1;
+  p1.fm_hz = 8.0;
+  p1.deviation_hz = 450.0;
+  p1.phase_deg = -42.0;
+  p1.quality = "ok";
+  p1.attempts = 1;
+  p1.status = "ok";
+  p1.wall_time_s = 0.1;
+  obs::RunReport::Point p2;
+  p2.fm_hz = 16.0;
+  p2.quality = "dropped";
+  p2.attempts = 2;
+  p2.status = "timeout";
+  p2.status_context = "watchdog fired";
+  p2.wall_time_s = 0.15;
+  rep.points = {p1, p2};
+  rep.faults = obs::RunReport::FaultStats{100, 3, 2, 1};
+  rep.kernel = {5000, 4800, 3, 2, 195};
+  obs::CounterValue c;
+  c.name = "bist.resilient.attempts";
+  c.value = 3;
+  rep.metrics.counters.push_back(c);
+  obs::HistogramValue h;
+  h.name = "bist.sweep.point_wall_s";
+  h.bounds = {0.1, 1.0};
+  h.buckets = {1, 1, 0};
+  h.count = 2;
+  h.sum = 0.25;
+  h.min = 0.1;
+  h.max = 0.15;
+  rep.metrics.histograms.push_back(h);
+
+  const std::string text = rep.toJson();
+  obs::JsonValue doc;
+  if (Status s = obs::parseJson(text, doc); !s.ok()) {
+    std::fprintf(stderr, "selftest: serialised report does not parse: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+  if (Status s = obs::validateRunReportJson(doc); !s.ok()) {
+    std::fprintf(stderr, "selftest: serialised report fails validation: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+
+  // Timing strip: the stripped document must still validate (timing fields
+  // are optional-but-typed) and must not mention wall_time_s anywhere.
+  obs::stripTimingFields(doc);
+  if (Status s = obs::validateRunReportJson(doc); !s.ok()) {
+    std::fprintf(stderr, "selftest: stripped report fails validation: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+  if (doc.dump().find("wall_time_s") != std::string::npos) {
+    std::fprintf(stderr, "selftest: stripTimingFields left a wall_time_s field behind\n");
+    return 1;
+  }
+
+  // Negative checks: corrupting the document must be caught.
+  obs::JsonValue bad;
+  (void)obs::parseJson(text, bad);
+  if (obs::JsonValue* schema = bad.find("schema")) schema->string = "bogus/9";
+  if (obs::validateRunReportJson(bad).ok()) {
+    std::fprintf(stderr, "selftest: wrong schema string was accepted\n");
+    return 1;
+  }
+  (void)obs::parseJson(text, bad);
+  if (obs::JsonValue* quality = bad.find("quality"))
+    if (obs::JsonValue* ok = quality->find("ok")) ok->number = 99.0;
+  if (obs::validateRunReportJson(bad).ok()) {
+    std::fprintf(stderr, "selftest: inconsistent quality counters were accepted\n");
+    return 1;
+  }
+
+  std::printf("report_check: selftest ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s file.json [more.json ...] | --selftest\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) rc |= selftest();
+    else rc |= checkFile(argv[i]);
+  }
+  return rc;
+}
