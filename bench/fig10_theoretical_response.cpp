@@ -2,12 +2,19 @@
 // from the closed-loop transfer function of eqn (4) with the Table 3
 // values. Also prints the capacitor-node response (what the peak-detect-
 // and-hold BIST physically captures) for comparison with Figures 11/12.
+//
+// Exits nonzero if the golden analytical oracle (closed-form second-order
+// evaluation, derived independently from the raw R/C/Ip/Ko/N values)
+// disagrees with the polynomial TransferFunction evaluation anywhere on
+// the plotted grid — the two derivations must match to numerical noise.
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/units.hpp"
 #include "control/bode.hpp"
 #include "control/grid.hpp"
+#include "golden/linear_model.hpp"
 #include "pll/config.hpp"
 #include "support/bench_util.hpp"
 
@@ -67,5 +74,29 @@ int main() {
     p2.y.push_back(p.phase_deg);
   }
   std::printf("%s", benchutil::asciiPlot({p1, p2}).c_str());
+
+  benchutil::printSubHeader("golden-model cross-check");
+  const golden::GoldenModel model(cfg);
+  double max_db = 0.0, max_deg = 0.0;
+  for (double f : control::logspace(0.5, 100.0, 101)) {
+    const double w = hzToRadPerSec(f);
+    max_db = std::max(max_db, std::abs(model.magnitudeDb(f, golden::ResponseKind::CapacitorNode) -
+                                       cap.magnitudeDbAt(w)));
+    max_deg = std::max(max_deg, std::abs(model.phaseDeg(f, golden::ResponseKind::CapacitorNode) -
+                                         cap.phaseDegAt(w)));
+    max_db = std::max(max_db, std::abs(model.magnitudeDb(f, golden::ResponseKind::DividedOutput) -
+                                       eqn4.magnitudeDbAt(w)));
+    max_deg = std::max(max_deg, std::abs(model.phaseDeg(f, golden::ResponseKind::DividedOutput) -
+                                         eqn4.phaseDegAt(w)));
+  }
+  constexpr double kAnalyticTolDb = 1e-6, kAnalyticTolDeg = 1e-6;
+  std::printf("golden oracle vs TransferFunction over 0.5..100 Hz (both response kinds):\n"
+              "  max |delta| = %.3e dB, %.3e deg  (gate: %.0e dB / %.0e deg)\n",
+              max_db, max_deg, kAnalyticTolDb, kAnalyticTolDeg);
+  if (max_db > kAnalyticTolDb || max_deg > kAnalyticTolDeg) {
+    std::fprintf(stderr, "fig10: FAIL - golden oracle disagrees with the transfer function\n");
+    return 1;
+  }
+  std::printf("PASS\n");
   return 0;
 }

@@ -4,10 +4,13 @@
 // peak-detect capture measures the capacitor-node response whose phase at
 // fn is -90 deg (see EXPERIMENTS.md for the systematic-difference note).
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/units.hpp"
 #include "control/bode.hpp"
+#include "golden/differential.hpp"
+#include "golden/linear_model.hpp"
 #include "pll/config.hpp"
 #include "support/bench_util.hpp"
 #include "support/reference_sweeps.hpp"
@@ -73,5 +76,58 @@ int main() {
                                           toSeries(two, "two-tone FSK", '2'),
                                           toSeries(multi, "multi-tone FSK", 'm')})
                         .c_str());
+
+  // Differential gate against the analytical oracle: multi-tone phase vs
+  // the golden capacitor-node curve, after removing the ~1-Tref transport
+  // delay of the sampled BIST path (see DESIGN.md section 9). Two-tone is
+  // reported but not gated.
+  benchutil::printSubHeader("golden-model differential gate");
+  const golden::GoldenModel model(cfg);
+  const double fn = model.naturalFrequencyHz();
+  const golden::ToleranceBands bands = golden::ToleranceBands::defaults();
+  const double delay_tref = 1.0;  // same correction the differential suite applies
+  // The figures reproduce the paper's ten-step FSK stimulus; the golden
+  // differential suite runs 20 steps precisely because 10 leaves a few
+  // degrees of staircase distortion in the extracted phase. Widen each
+  // band by that documented stimulus penalty instead of hiding it.
+  const double coarse_stimulus_slack_deg = 5.0;
+  auto delta_of = [&](const control::BodePoint& p) {
+    const double f = radPerSecToHz(p.omega_rad_per_s);
+    double d = p.phase_deg - model.phaseDeg(f) + 360.0 * f * delay_tref / cfg.ref_frequency_hz;
+    while (d <= -180.0) d += 360.0;
+    while (d > 180.0) d -= 360.0;
+    return d;
+  };
+  double max_delta = 0.0, max_two = 0.0;
+  bool pass = true;
+  int gated = 0;
+  for (const auto& p : multi.points()) {
+    const double f = radPerSecToHz(p.omega_rad_per_s);
+    const golden::ToleranceBand* band = bands.bandFor(f / fn);
+    if (band == nullptr) continue;  // counter-resolution floor: excluded
+    const double delta = delta_of(p);
+    const double tol = band->phase_deg + coarse_stimulus_slack_deg;
+    max_delta = std::max(max_delta, std::abs(delta));
+    ++gated;
+    if (std::abs(delta) > tol) {
+      std::printf("  VIOLATION at %.2f Hz (%s): |%.1f| deg > %.1f deg\n", f, band->label, delta,
+                  tol);
+      pass = false;
+    }
+  }
+  for (const auto& p : two.points()) {
+    const double f = radPerSecToHz(p.omega_rad_per_s);
+    if (bands.bandFor(f / fn) == nullptr) continue;
+    max_two = std::max(max_two, std::abs(delta_of(p)));
+  }
+  std::printf("multi-tone vs oracle: max |delta| = %.1f deg over %d banded points "
+              "(delay-corrected, %.1f Tref)\n",
+              max_delta, gated, delay_tref);
+  std::printf("two-tone  vs oracle: max |delta| = %.1f deg (reported, not gated)\n", max_two);
+  if (!pass || gated == 0) {
+    std::fprintf(stderr, "fig12: FAIL - measured phase outside the golden tolerance bands\n");
+    return 1;
+  }
+  std::printf("PASS\n");
   return 0;
 }

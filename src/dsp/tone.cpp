@@ -20,8 +20,15 @@ std::complex<double> goertzel(const std::vector<double>& samples, double sample_
     s_prev2 = s_prev;
     s_prev = s;
   }
-  // Standard Goertzel final step: X = s_prev - exp(-jw) * s_prev2.
-  return {s_prev - std::cos(w) * s_prev2, -std::sin(w) * s_prev2};
+  // The raw Goertzel terminal value carries a residual rotation of
+  // w*(N-1): it equals exp(-jw(N-1)) * sum(x[n] * exp(+jwn)). Undo the
+  // rotation and conjugate so the function returns exactly the documented
+  // correlation sum(x[n] * exp(-jwn)) — callers that read phase (not just
+  // magnitude) get the DFT-bin convention, with f = 0 reducing to the
+  // plain sum and f = fs/2 to the alternating sum.
+  const std::complex<double> terminal{s_prev - std::cos(w) * s_prev2, -std::sin(w) * s_prev2};
+  const double rot = w * static_cast<double>(samples.empty() ? 0 : samples.size() - 1);
+  return std::conj(std::polar(1.0, rot) * terminal);
 }
 
 namespace {

@@ -1,0 +1,143 @@
+#include "golden/linear_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace pllbist::golden {
+
+const char* to_string(ResponseKind kind) {
+  switch (kind) {
+    case ResponseKind::CapacitorNode: return "capacitor-node";
+    case ResponseKind::DividedOutput: return "divided-output";
+  }
+  return "unknown";
+}
+
+double GoldenParameters::naturalFrequencyHz() const { return radPerSecToHz(omega_n_rad_per_s); }
+
+GoldenParameters deriveParameters(const pll::PllConfig& config) {
+  config.validate();
+  const double n = static_cast<double>(config.divider_n);
+  const double ko = kTwoPi * config.vco.gain_hz_per_v;  // rad/s per V
+  const double c = config.pump.c_farad;
+  const double t2 = config.pump.r2_ohm * c;
+
+  GoldenParameters p;
+  p.tau2_s = t2;
+  if (config.pump.kind == pll::PumpKind::Voltage4046) {
+    // Tri-state voltage output through the Figure 9 lag-lead filter:
+    //   Kpd = (Vdd - Vss)/(4*pi), F(s) = (1 + s*t2)/(1 + s*(t1 + t2)),
+    //   den(s) = s^2 + s*(1 + K*t2/N)/(t1 + t2) + K/(N*(t1 + t2)).
+    const double kpd = (config.pump.vdd_v - config.pump.vss_v) / (4.0 * kPi);
+    const double k = kpd * ko;
+    const double t12 = (config.pump.r1_ohm + config.pump.r2_ohm) * c;
+    p.loop_gain_per_s = k / n;
+    p.omega_n_rad_per_s = std::sqrt(k / (n * t12));
+    p.zeta = (1.0 + k * t2 / n) / (2.0 * p.omega_n_rad_per_s * t12);
+  } else {
+    // Current-steering pump into R2 + C (type-2 loop):
+    //   Kd = Ip/(2*pi), den(s) = s^2 + s*K*t2/(N*C)/1 ... in normal form
+    //   wn^2 = K/(N*C), 2*zeta*wn = K*t2/(N*C)  =>  zeta = wn*t2/2.
+    const double kd = config.pump.pump_current_a / kTwoPi;
+    const double k = kd * ko;
+    p.loop_gain_per_s = k / n;
+    p.omega_n_rad_per_s = std::sqrt(k / (n * c));
+    p.zeta = p.omega_n_rad_per_s * t2 / 2.0;
+  }
+  return p;
+}
+
+GoldenModel::GoldenModel(const pll::PllConfig& config) : params_(deriveParameters(config)) {}
+
+GoldenModel::GoldenModel(const GoldenParameters& params) : params_(params) {
+  if (!(params.omega_n_rad_per_s > 0.0) || !(params.zeta > 0.0))
+    throw std::invalid_argument("GoldenModel: omega_n and zeta must be positive");
+}
+
+std::complex<double> GoldenModel::response(double fm_hz, ResponseKind kind) const {
+  const double w = hzToRadPerSec(fm_hz);
+  const double wn = params_.omega_n_rad_per_s;
+  const std::complex<double> jw(0.0, w);
+  const std::complex<double> den = (wn * wn - w * w) + std::complex<double>(0.0, 2.0 * params_.zeta * wn * w);
+  std::complex<double> num(wn * wn, 0.0);
+  if (kind == ResponseKind::DividedOutput) num *= (1.0 + jw * params_.tau2_s);
+  return num / den;
+}
+
+double GoldenModel::magnitudeDb(double fm_hz, ResponseKind kind) const {
+  return amplitudeToDb(std::abs(response(fm_hz, kind)));
+}
+
+double GoldenModel::phaseDeg(double fm_hz, ResponseKind kind) const {
+  return radToDeg(std::arg(response(fm_hz, kind)));
+}
+
+std::vector<GoldenPoint> GoldenModel::curve(const std::vector<double>& fm_hz,
+                                            ResponseKind kind) const {
+  std::vector<GoldenPoint> out;
+  out.reserve(fm_hz.size());
+  for (double f : fm_hz) out.push_back({f, magnitudeDb(f, kind), phaseDeg(f, kind)});
+  return out;
+}
+
+std::optional<double> GoldenModel::peakFrequencyHz() const {
+  const double z = params_.zeta;
+  if (z * z >= 0.5) return std::nullopt;
+  return naturalFrequencyHz() * std::sqrt(1.0 - 2.0 * z * z);
+}
+
+std::optional<double> GoldenModel::peakingDb() const {
+  const double z = params_.zeta;
+  if (z * z >= 0.5) return std::nullopt;
+  return amplitudeToDb(1.0 / (2.0 * z * std::sqrt(1.0 - z * z)));
+}
+
+double GoldenModel::bandwidth3DbHz() const {
+  const double a = 1.0 - 2.0 * params_.zeta * params_.zeta;
+  return naturalFrequencyHz() * std::sqrt(a + std::sqrt(a * a + 1.0));
+}
+
+double GoldenModel::stepResponse(double t_s) const {
+  if (t_s <= 0.0) return 0.0;
+  const double wn = params_.omega_n_rad_per_s;
+  const double z = params_.zeta;
+  // Within ~1e-6 of critical damping the distinct-pole formulas lose all
+  // precision to cancellation; use the repeated-root branch there.
+  if (std::abs(z - 1.0) < 1e-6) {
+    return 1.0 - std::exp(-wn * t_s) * (1.0 + wn * t_s);
+  }
+  if (z < 1.0) {
+    const double wd = wn * std::sqrt(1.0 - z * z);
+    return 1.0 - std::exp(-z * wn * t_s) *
+                     (std::cos(wd * t_s) + z / std::sqrt(1.0 - z * z) * std::sin(wd * t_s));
+  }
+  // Overdamped: real poles p1 < p2, y = 1 - (p2*e^{-p1 t} - p1*e^{-p2 t})/(p2 - p1).
+  const double r = std::sqrt(z * z - 1.0);
+  const double p1 = wn * (z - r);
+  const double p2 = wn * (z + r);
+  return 1.0 - (p2 * std::exp(-p1 * t_s) - p1 * std::exp(-p2 * t_s)) / (p2 - p1);
+}
+
+double GoldenModel::stepOvershootFraction() const {
+  const double z = params_.zeta;
+  if (z >= 1.0) return 0.0;
+  return std::exp(-kPi * z / std::sqrt(1.0 - z * z));
+}
+
+double GoldenModel::settlingTime2PctS() const {
+  return 4.0 / (params_.zeta * params_.omega_n_rad_per_s);
+}
+
+double GoldenModel::pullOutRangeHz() const {
+  return radPerSecToHz(1.8 * params_.omega_n_rad_per_s * (params_.zeta + 1.0));
+}
+
+double GoldenModel::lockInRangeHz() const {
+  return radPerSecToHz(2.0 * params_.zeta * params_.omega_n_rad_per_s);
+}
+
+double GoldenModel::lockInTimeS() const { return kTwoPi / params_.omega_n_rad_per_s; }
+
+}  // namespace pllbist::golden

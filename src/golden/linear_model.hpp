@@ -1,0 +1,121 @@
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "pll/config.hpp"
+
+namespace pllbist::golden {
+
+/// Which closed-loop curve the oracle evaluates.
+enum class ResponseKind {
+  /// Pure two-pole wn^2 / (s^2 + 2*zeta*wn*s + wn^2) — the response the
+  /// peak-detect-and-hold BIST physically captures (the filter zero is
+  /// divided out; see control::capacitorNodeTf).
+  CapacitorNode,
+  /// Two-pole plus the filter zero, wn^2*(1 + s*tau2) / (...) — the
+  /// paper's eqn (4) at the divided output, unity DC gain.
+  DividedOutput,
+};
+
+[[nodiscard]] const char* to_string(ResponseKind kind);
+
+/// The complete parameter set of the linearised CP-PLL, derived in closed
+/// form directly from the electrical configuration. This derivation is
+/// deliberately *independent* of control::cppll_model / TransferFunction:
+/// it re-derives (wn, zeta, tau2) from R1/R2/C/Ip/Kpd/Ko/N from scratch so
+/// that a bug in the polynomial machinery (or in this file) shows up as a
+/// disagreement in the golden-model cross-check tests rather than
+/// cancelling out.
+struct GoldenParameters {
+  double omega_n_rad_per_s = 0.0;  ///< natural frequency wn
+  double zeta = 0.0;               ///< damping ratio
+  double tau2_s = 0.0;             ///< filter zero time constant R2*C
+  double loop_gain_per_s = 0.0;    ///< K/N = Kpd*Ko/N (DC loop stiffness)
+
+  [[nodiscard]] double naturalFrequencyHz() const;
+};
+
+/// Closed-form parameter derivation for either pump kind. Throws
+/// std::invalid_argument on a non-validating configuration.
+[[nodiscard]] GoldenParameters deriveParameters(const pll::PllConfig& config);
+
+/// One sampled point of a golden frequency-response curve.
+struct GoldenPoint {
+  double fm_hz = 0.0;
+  double magnitude_db = 0.0;
+  double phase_deg = 0.0;  ///< principal value in (-180, 180]
+};
+
+/// Continuous-time analytical oracle for the closed-loop transfer function
+/// of a second-order CP-PLL: magnitude, phase, response features, lock /
+/// acquisition estimates and the closed-form step response. Everything is
+/// evaluated from (wn, zeta, tau2) by explicit formula — no polynomial
+/// evaluation, no root finding, no simulation — so it serves as the
+/// independent reference curve for differential tests and the fig10/11/12
+/// benches.
+class GoldenModel {
+ public:
+  explicit GoldenModel(const pll::PllConfig& config);
+  explicit GoldenModel(const GoldenParameters& params);
+
+  [[nodiscard]] const GoldenParameters& parameters() const { return params_; }
+  [[nodiscard]] double naturalFrequencyHz() const { return params_.naturalFrequencyHz(); }
+  [[nodiscard]] double dampingRatio() const { return params_.zeta; }
+
+  /// H(j*2*pi*fm) for the selected curve.
+  [[nodiscard]] std::complex<double> response(double fm_hz,
+                                              ResponseKind kind = ResponseKind::CapacitorNode) const;
+  [[nodiscard]] double magnitudeDb(double fm_hz,
+                                   ResponseKind kind = ResponseKind::CapacitorNode) const;
+  /// Principal-value phase in (-180, 180].
+  [[nodiscard]] double phaseDeg(double fm_hz,
+                                ResponseKind kind = ResponseKind::CapacitorNode) const;
+
+  /// Sample a whole curve (phase is per-point principal value; the golden
+  /// two-pole phase lives in (-180, 0] so no unwrapping is needed below
+  /// the second pole).
+  [[nodiscard]] std::vector<GoldenPoint> curve(const std::vector<double>& fm_hz,
+                                               ResponseKind kind = ResponseKind::CapacitorNode) const;
+
+  // -- Response features of the capacitor-node (pure two-pole) curve --
+
+  /// Magnitude peak frequency wn*sqrt(1 - 2*zeta^2); nullopt when the
+  /// curve does not peak (zeta >= 1/sqrt(2)).
+  [[nodiscard]] std::optional<double> peakFrequencyHz() const;
+  /// Peak height above DC in dB; nullopt when the curve does not peak.
+  [[nodiscard]] std::optional<double> peakingDb() const;
+  /// One-sided -3 dB bandwidth, closed form.
+  [[nodiscard]] double bandwidth3DbHz() const;
+  /// Frequency where the two-pole phase crosses -90 degrees (= fn exactly).
+  [[nodiscard]] double phase90CrossingHz() const { return naturalFrequencyHz(); }
+
+  // -- Time-domain closed forms (unit-step response of the two-pole path) --
+
+  /// Normalised step response y(t) with y(0) = 0, y(inf) = 1; exact for
+  /// all damping regimes (under-, critically- and over-damped branches).
+  [[nodiscard]] double stepResponse(double t_s) const;
+  /// Fractional first-overshoot exp(-pi*zeta/sqrt(1-zeta^2)); 0 when
+  /// zeta >= 1 (no overshoot).
+  [[nodiscard]] double stepOvershootFraction() const;
+  /// 2% settling-time approximation 4/(zeta*wn).
+  [[nodiscard]] double settlingTime2PctS() const;
+
+  // -- Lock / acquisition estimates (closed-form CP-PLL model; see
+  //    Kuznetsov et al., arXiv:1901.01468, and Gardner) --
+
+  /// Pull-out range: the frequency step that just makes the loop slip a
+  /// cycle, Gardner's classic approximation 1.8*wn*(zeta + 1) rad/s,
+  /// reported in Hz at the reference (divided) input.
+  [[nodiscard]] double pullOutRangeHz() const;
+  /// Lock-in (fast-capture) range ~ 2*zeta*wn rad/s in Hz.
+  [[nodiscard]] double lockInRangeHz() const;
+  /// Lock-in time estimate, one natural period 2*pi/wn.
+  [[nodiscard]] double lockInTimeS() const;
+
+ private:
+  GoldenParameters params_;
+};
+
+}  // namespace pllbist::golden

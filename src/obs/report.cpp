@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -289,6 +290,169 @@ Status validateRunReportText(std::string_view text) {
   Status s = parseJson(text, root);
   if (!s.ok()) return s;
   return validateRunReportJson(root);
+}
+
+namespace {
+
+Status goldenViolation(const char* what) {
+  return Status::makef(Status::Kind::InvalidArgument, "GoldenReport schema: %s", what);
+}
+
+Status goldenRequireNumbers(const JsonValue& obj, std::initializer_list<const char*> keys,
+                            const char* where) {
+  for (const char* k : keys) {
+    const JsonValue* v = obj.find(k);
+    if (v == nullptr || !v->isNumber())
+      return Status::makef(Status::Kind::InvalidArgument,
+                           "GoldenReport schema: %s.%s missing or not a number", where, k);
+  }
+  return Status();
+}
+
+}  // namespace
+
+Status validateGoldenReportJson(const JsonValue& root) {
+  if (!root.isObject()) return goldenViolation("top level must be an object");
+
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->isString()) return goldenViolation("missing 'schema' string");
+  if (schema->string != kGoldenReportSchema)
+    return Status::makef(Status::Kind::InvalidArgument,
+                         "GoldenReport schema: unsupported schema '%s' (expected '%s')",
+                         schema->string.c_str(), kGoldenReportSchema);
+
+  const JsonValue* tool = root.find("tool");
+  if (tool == nullptr || !tool->isString() || tool->string.empty())
+    return goldenViolation("missing 'tool' string");
+
+  const JsonValue* config = root.find("config");
+  if (config == nullptr || !config->isObject()) return goldenViolation("missing 'config' object");
+  for (const char* k : {"device", "stimulus", "digest", "seed"}) {
+    const JsonValue* v = config->find(k);
+    if (v == nullptr || !v->isString())
+      return Status::makef(Status::Kind::InvalidArgument,
+                           "GoldenReport schema: config.%s missing or not a string", k);
+  }
+  for (const char* k : {"digest", "seed"}) {
+    const JsonValue* v = config->find(k);
+    if (v->string.size() < 3 || v->string.substr(0, 2) != "0x")
+      return Status::makef(Status::Kind::InvalidArgument,
+                           "GoldenReport schema: config.%s must be a 0x-prefixed hex string", k);
+    for (char c : v->string.substr(2))
+      if (!std::isxdigit(static_cast<unsigned char>(c)))
+        return Status::makef(Status::Kind::InvalidArgument,
+                             "GoldenReport schema: config.%s must be a 0x-prefixed hex string", k);
+  }
+  Status s = goldenRequireNumbers(
+      *config, {"jobs", "fn_hz", "zeta", "tau2_s", "loop_gain_per_s",
+                "transport_delay_ref_periods"},
+      "config");
+  if (!s.ok()) return s;
+  if (!(config->find("fn_hz")->number > 0.0))
+    return goldenViolation("config.fn_hz must be positive");
+  if (!(config->find("zeta")->number > 0.0)) return goldenViolation("config.zeta must be positive");
+
+  const JsonValue* bands = root.find("tolerance_bands");
+  if (bands == nullptr || !bands->isArray() || bands->array.empty())
+    return goldenViolation("missing non-empty 'tolerance_bands' array");
+  double prev_edge = 0.0;
+  for (const JsonValue& b : bands->array) {
+    if (!b.isObject()) return goldenViolation("tolerance_bands[] entries must be objects");
+    const JsonValue* label = b.find("label");
+    if (label == nullptr || !label->isString() || label->string.empty())
+      return goldenViolation("tolerance_bands[].label missing");
+    s = goldenRequireNumbers(b, {"f_over_fn_max", "magnitude_db", "phase_deg"},
+                             "tolerance_bands[]");
+    if (!s.ok()) return s;
+    if (!(b.find("f_over_fn_max")->number > prev_edge))
+      return goldenViolation("tolerance_bands[].f_over_fn_max must be strictly ascending");
+    prev_edge = b.find("f_over_fn_max")->number;
+    if (!(b.find("magnitude_db")->number > 0.0) || !(b.find("phase_deg")->number > 0.0))
+      return goldenViolation("tolerance_bands[] tolerances must be positive");
+  }
+
+  const JsonValue* sweep_status = root.find("sweep_status");
+  if (sweep_status == nullptr || !sweep_status->isString())
+    return goldenViolation("missing 'sweep_status' string");
+
+  const JsonValue* quality = root.find("quality");
+  if (quality == nullptr || !quality->isObject()) return goldenViolation("missing 'quality' object");
+  s = goldenRequireNumbers(*quality,
+                           {"points_total", "ok", "retried", "degraded", "dropped",
+                            "attempts_total", "relocks", "relock_failures", "sim_time_s"},
+                           "quality");
+  if (!s.ok()) return s;
+  const JsonValue* qw = quality->find("wall_time_s");
+  if (qw != nullptr && !qw->isNumber())
+    return goldenViolation("quality.wall_time_s must be a number");
+
+  const JsonValue* points = root.find("points");
+  if (points == nullptr || !points->isArray()) return goldenViolation("missing 'points' array");
+  int compared = 0, excluded = 0;
+  double max_db = 0.0, max_deg = 0.0;
+  for (const JsonValue& p : points->array) {
+    if (!p.isObject()) return goldenViolation("points[] entries must be objects");
+    s = goldenRequireNumbers(p,
+                             {"fm_hz", "f_over_fn", "measured_db", "golden_db", "delta_db",
+                              "measured_phase_deg", "golden_phase_deg", "delay_correction_deg",
+                              "delta_phase_deg", "magnitude_tol_db", "phase_tol_deg"},
+                             "points[]");
+    if (!s.ok()) return s;
+    const JsonValue* band = p.find("band");
+    if (band == nullptr || !band->isString() || band->string.empty())
+      return goldenViolation("points[].band missing");
+    const JsonValue* pq = p.find("quality");
+    if (pq == nullptr || !pq->isString()) return goldenViolation("points[].quality missing");
+    const JsonValue* pc = p.find("compared");
+    const JsonValue* pp = p.find("pass");
+    if (pc == nullptr || !pc->isBool()) return goldenViolation("points[].compared missing");
+    if (pp == nullptr || !pp->isBool()) return goldenViolation("points[].pass missing");
+    if (pp->boolean && !pc->boolean)
+      return goldenViolation("points[].pass requires points[].compared");
+    if (pc->boolean && band->string == "excluded")
+      return goldenViolation("excluded points[] cannot be compared");
+    const JsonValue* pw = p.find("wall_time_s");
+    if (pw != nullptr && !pw->isNumber())
+      return goldenViolation("points[].wall_time_s must be a number");
+    if (pc->boolean) {
+      ++compared;
+      const double adb = std::abs(p.find("delta_db")->number);
+      const double adeg = std::abs(p.find("delta_phase_deg")->number);
+      if (adb > max_db) max_db = adb;
+      if (adeg > max_deg) max_deg = adeg;
+    } else if (band->string == "excluded") {
+      ++excluded;
+    }
+  }
+
+  const JsonValue* summary = root.find("summary");
+  if (summary == nullptr || !summary->isObject()) return goldenViolation("missing 'summary' object");
+  s = goldenRequireNumbers(
+      *summary, {"compared", "excluded", "max_abs_delta_db", "max_abs_delta_phase_deg"},
+      "summary");
+  if (!s.ok()) return s;
+  const JsonValue* pass = summary->find("pass");
+  if (pass == nullptr || !pass->isBool()) return goldenViolation("summary.pass missing");
+  if (static_cast<int>(summary->find("compared")->number) != compared)
+    return goldenViolation("summary.compared disagrees with per-point compared flags");
+  if (static_cast<int>(summary->find("excluded")->number) != excluded)
+    return goldenViolation("summary.excluded disagrees with per-point band labels");
+  // The summary maxima must cover every compared point's delta (they may
+  // only exceed the recomputed maxima through rounding, never fall short).
+  if (summary->find("max_abs_delta_db")->number + 1e-12 < max_db)
+    return goldenViolation("summary.max_abs_delta_db below a compared point's |delta_db|");
+  if (summary->find("max_abs_delta_phase_deg")->number + 1e-12 < max_deg)
+    return goldenViolation("summary.max_abs_delta_phase_deg below a compared point's delta");
+  if (pass->boolean && compared == 0)
+    return goldenViolation("summary.pass requires at least one compared point");
+  return Status();
+}
+
+Status validateGoldenReportText(std::string_view text) {
+  JsonValue root;
+  Status s = parseJson(text, root);
+  if (!s.ok()) return s;
+  return validateGoldenReportJson(root);
 }
 
 const std::vector<std::string>& runReportTimingFields() {

@@ -99,6 +99,22 @@ struct RunReport {
 /// Convenience: parse + validate a JSON document in one call.
 [[nodiscard]] Status validateRunReportText(std::string_view text);
 
+/// Schema identifier of the golden differential report (emitted by
+/// golden::DifferentialReport::toJson; the constant lives here so report
+/// tooling can dispatch on it without linking the golden library).
+inline constexpr const char* kGoldenReportSchema = "pllbist.golden_report/1";
+
+/// Validate a parsed document against the golden_report schema: required
+/// keys and types, ascending tolerance bands, per-point band/tolerance
+/// consistency, summary counters (compared + excluded vs points, maxima
+/// match the per-point deltas). Returns InvalidArgument naming the first
+/// violated rule. The timing-field contract matches RunReport
+/// (quality.wall_time_s, points[].wall_time_s may be stripped).
+[[nodiscard]] Status validateGoldenReportJson(const JsonValue& root);
+
+/// Convenience: parse + validate a golden report in one call.
+[[nodiscard]] Status validateGoldenReportText(std::string_view text);
+
 /// The timing-dependent JSON paths of a report, as documented contract:
 /// "quality.wall_time_s", "points[].wall_time_s", and every metric whose
 /// name ends in "_wall_s". stripTimingFields() removes exactly these (used

@@ -6,6 +6,7 @@
 #include "control/grid.hpp"
 #include "control/second_order.hpp"
 #include "control/transfer_function.hpp"
+#include "support/tolerance.hpp"
 
 namespace pllbist::bist {
 namespace {
@@ -27,7 +28,7 @@ TEST(ExtractParameters, RecoversSecondOrderParameters) {
               0.2);
   // 2nd-order phase at omega_p: atan(2*zeta*x/(1-x^2)) with x = sqrt(1-2z^2)
   // is -61.5 degrees for zeta = 0.43.
-  EXPECT_NEAR(p.phase_at_peak_deg, -61.5, 3.0);
+  EXPECT_PHASE_NEAR_DEG(p.phase_at_peak_deg, -61.5, 3.0);
 }
 
 TEST(ExtractParameters, OverdampedHasNoZetaEstimate) {

@@ -9,6 +9,7 @@
 
 #include "common/units.hpp"
 #include "support/test_configs.hpp"
+#include "support/tolerance.hpp"
 
 namespace pllbist::bist {
 namespace {
@@ -54,8 +55,8 @@ TEST(MeasuredResponse, ToBodeReferencesStaticDeviation) {
   r.points.push_back({.modulation_hz = 100.0, .deviation_hz = 500.0, .phase_deg = -45.0});
   const auto bode = r.toBode();
   ASSERT_EQ(bode.size(), 2u);
-  EXPECT_NEAR(bode.points()[0].magnitude_db, 0.0, 1e-9);
-  EXPECT_NEAR(bode.points()[1].magnitude_db, -6.0206, 1e-3);
+  EXPECT_DB_NEAR(bode.points()[0].magnitude_db, 0.0, 1e-9);
+  EXPECT_DB_NEAR(bode.points()[1].magnitude_db, -6.0206, 1e-3);
 }
 
 TEST(MeasuredResponse, TimedOutPointsExcluded) {
@@ -105,19 +106,13 @@ TEST_P(SweepAccuracy, MatchesCapacitorNodeTheory) {
   const double mag_tol = two_tone ? 4.5 : 2.5;
   const double phase_tol = two_tone ? 45.0 : 25.0;
 
-  auto wrapDeg = [](double deg) {
-    while (deg <= -180.0) deg += 360.0;
-    while (deg > 180.0) deg -= 360.0;
-    return deg;
-  };
-
   int compared = 0;
   for (const control::BodePoint& p : bode.points()) {
     const double f = radPerSecToHz(p.omega_rad_per_s);
     if (f < fm_min || f > 700.0) continue;  // quantisation dominates beyond ~3.5x fn
-    EXPECT_NEAR(p.magnitude_db, cap.magnitudeDbAt(p.omega_rad_per_s), mag_tol)
+    EXPECT_DB_NEAR(p.magnitude_db, cap.magnitudeDbAt(p.omega_rad_per_s), mag_tol)
         << to_string(GetParam()) << " fm=" << f;
-    EXPECT_NEAR(wrapDeg(p.phase_deg - cap.phaseDegAt(p.omega_rad_per_s)), 0.0, phase_tol)
+    EXPECT_PHASE_NEAR_DEG(p.phase_deg, cap.phaseDegAt(p.omega_rad_per_s), phase_tol)
         << to_string(GetParam()) << " fm=" << f;
     ++compared;
   }

@@ -10,6 +10,7 @@
 #include "sim/circuit.hpp"
 #include "sim/primitives.hpp"
 #include "support/test_configs.hpp"
+#include "support/tolerance.hpp"
 
 namespace pllbist::bist {
 namespace {
@@ -139,8 +140,8 @@ TEST(DelayLinePmSweep, MatchesCapacitorNodeTheory) {
   for (const control::BodePoint& p : bode.points()) {
     const double f = radPerSecToHz(p.omega_rad_per_s);
     if (f < 100.0 || f > 700.0) continue;  // PM SNR is poorest at low fm
-    EXPECT_NEAR(p.magnitude_db, cap.magnitudeDbAt(p.omega_rad_per_s), 3.0) << f;
-    EXPECT_NEAR(p.phase_deg, cap.phaseDegAt(p.omega_rad_per_s), 30.0) << f;
+    EXPECT_DB_NEAR(p.magnitude_db, cap.magnitudeDbAt(p.omega_rad_per_s), 3.0) << f;
+    EXPECT_PHASE_NEAR_DEG(p.phase_deg, cap.phaseDegAt(p.omega_rad_per_s), 30.0) << f;
     ++compared;
   }
   EXPECT_GE(compared, 4);

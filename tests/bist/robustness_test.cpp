@@ -14,6 +14,7 @@
 #include "pll/sources.hpp"
 #include "sim/fault_injector.hpp"
 #include "support/test_configs.hpp"
+#include "support/tolerance.hpp"
 
 namespace pllbist::bist {
 namespace {
@@ -86,7 +87,7 @@ TEST(Robustness, PointMeasurementSurvivesReferenceJitter) {
   const TestSequencer::PointResult jittered = measureWithJitter(2e-7);  // 0.2% of Tref
   ASSERT_FALSE(clean.timed_out);
   ASSERT_FALSE(jittered.timed_out);
-  EXPECT_NEAR(jittered.phase_deg, clean.phase_deg, 15.0);
+  EXPECT_PHASE_NEAR_DEG(jittered.phase_deg, clean.phase_deg, 15.0);
   EXPECT_NEAR(jittered.held_frequency_hz, clean.held_frequency_hz,
               0.1 * (clean.held_frequency_hz - cfg.nominalVcoHz()));
 }
@@ -115,8 +116,8 @@ TEST(Robustness, PumpTopologiesAgreeOnTheResponse) {
   for (size_t k = 0; k < v.size(); ++k) {
     const double f = radPerSecToHz(v.points()[k].omega_rad_per_s);
     if (f > 700.0) continue;
-    EXPECT_NEAR(v.points()[k].magnitude_db, i.points()[k].magnitude_db, 1.5) << f;
-    EXPECT_NEAR(v.points()[k].phase_deg, i.points()[k].phase_deg, 15.0) << f;
+    EXPECT_DB_NEAR(v.points()[k].magnitude_db, i.points()[k].magnitude_db, 1.5) << f;
+    EXPECT_PHASE_NEAR_DEG(v.points()[k].phase_deg, i.points()[k].phase_deg, 15.0) << f;
   }
 }
 
@@ -159,7 +160,7 @@ TEST(ResilientSweepEngine, MatchesPlainControllerOnHealthyDevice) {
   ASSERT_EQ(a.points.size(), b.points.size());
   for (size_t i = 0; i < a.points.size(); ++i) {
     EXPECT_NEAR(a.points[i].deviation_hz, b.points[i].deviation_hz, 1e-6) << i;
-    EXPECT_NEAR(a.points[i].phase_deg, b.points[i].phase_deg, 1e-6) << i;
+    EXPECT_PHASE_NEAR_DEG(a.points[i].phase_deg, b.points[i].phase_deg, 1e-6) << i;
   }
 }
 

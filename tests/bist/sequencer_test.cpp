@@ -10,6 +10,7 @@
 #include "common/units.hpp"
 #include "pll/sources.hpp"
 #include "support/test_configs.hpp"
+#include "support/tolerance.hpp"
 
 namespace pllbist::bist {
 namespace {
@@ -119,7 +120,7 @@ TEST(TestSequencer, PointMeasurementCompletesWithPlausibleValues) {
   EXPECT_FALSE(r.timed_out);
   EXPECT_EQ(static_cast<int>(r.phase_counts.size()), b.sequencer.options().average_periods);
   // Phase near the capacitor-node -90 degrees at fn.
-  EXPECT_NEAR(r.phase_deg, -90.0, 25.0);
+  EXPECT_PHASE_NEAR_DEG(r.phase_deg, -90.0, 25.0);
   // Held deviation ~ |H_cap(fn)| * N * 100 Hz = 1.177 * 1000.
   const double dev = r.held_frequency_hz - b.cfg.nominalVcoHz();
   EXPECT_NEAR(dev, 1177.0, 250.0);
@@ -228,7 +229,7 @@ TEST(TestSequencer, WorksWithPureSineStimulus) {
   });
   while (!done) ASSERT_TRUE(c.step());
   EXPECT_FALSE(r.timed_out);
-  EXPECT_NEAR(r.phase_deg, -90.0, 20.0);
+  EXPECT_PHASE_NEAR_DEG(r.phase_deg, -90.0, 20.0);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "common/units.hpp"
 #include "support/test_configs.hpp"
+#include "support/tolerance.hpp"
 
 namespace pllbist::core {
 namespace {
@@ -82,8 +83,12 @@ TEST(TransferFunctionMeasurement, RunParallelMatchesSerialFarm) {
   // The farm's determinism contract carries through aggregation: identical
   // Bode points and extracted parameters for any job count.
   for (std::size_t i = 0; i < serial.bode.size(); ++i) {
-    EXPECT_EQ(serial.bode.points()[i].magnitude_db, parallel.bode.points()[i].magnitude_db);
-    EXPECT_EQ(serial.bode.points()[i].phase_deg, parallel.bode.points()[i].phase_deg);
+    // ulpsEqual with 0 ulps == exact equality, but names the intent and
+    // prints both operands on failure.
+    EXPECT_PRED3(pllbist::testing::ulpsEqual, serial.bode.points()[i].magnitude_db,
+                 parallel.bode.points()[i].magnitude_db, 0);
+    EXPECT_PRED3(pllbist::testing::ulpsEqual, serial.bode.points()[i].phase_deg,
+                 parallel.bode.points()[i].phase_deg, 0);
   }
   EXPECT_EQ(serial.parameters.peaking_db, parallel.parameters.peaking_db);
   EXPECT_GT(serial.parameters.peaking_db, 0.5);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "dsp/window.hpp"
+
 #include <cmath>
 #include <random>
 
@@ -115,6 +117,78 @@ TEST(AmplitudeSpectrum, RejectsBadRate) {
 
 TEST(AmplitudeSpectrum, EmptyInputEmptyOutput) {
   EXPECT_TRUE(amplitudeSpectrum({}, 100.0).empty());
+}
+
+// --- edge-of-spectrum and guard cases -------------------------------------
+
+TEST(Fft, NyquistAlternationConcentratesInMiddleBin) {
+  // x[n] = (-1)^n is the Nyquist tone: all energy lands in bin N/2, and the
+  // bin value is exactly N (sum of (+1)^2 terms, no cancellation).
+  constexpr size_t kN = 64;
+  std::vector<std::complex<double>> data(kN);
+  for (size_t i = 0; i < kN; ++i) data[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  fftInPlace(data);
+  EXPECT_NEAR(std::abs(data[kN / 2]), static_cast<double>(kN), 1e-9);
+  for (size_t k = 0; k < kN; ++k) {
+    if (k == kN / 2) continue;
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(AmplitudeSpectrum, NyquistBinUsesHalfScale) {
+  // The single-sided scale doubles every interior bin but not DC or
+  // Nyquist; an exact Nyquist alternation of amplitude A must read A, not
+  // 2A. (A plain 2/N scale overshoots by exactly 2x here.)
+  constexpr size_t kN = 128;
+  constexpr double kAmp = 0.75, kFs = 1000.0;
+  std::vector<double> x(kN);
+  for (size_t i = 0; i < kN; ++i) x[i] = (i % 2 == 0) ? kAmp : -kAmp;
+  const auto bins = amplitudeSpectrum(x, kFs);
+  ASSERT_EQ(bins.size(), kN / 2 + 1);
+  EXPECT_NEAR(bins.back().frequency_hz, kFs / 2.0, 1e-9);
+  EXPECT_NEAR(bins.back().amplitude, kAmp, 1e-9);
+  EXPECT_NEAR(bins.front().amplitude, 0.0, 1e-9);  // no DC in the alternation
+}
+
+TEST(Fft, NonPowerOfTwoGuardCoversInverseAndTrivialSizes) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(fftInPlace(data, /*inverse=*/true), std::invalid_argument);
+  // Size 1 is a (trivial) power of two: identity transform, no throw.
+  std::vector<std::complex<double>> one = {{3.0, -4.0}};
+  EXPECT_NO_THROW(fftInPlace(one));
+  EXPECT_NEAR(one[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(one[0].imag(), -4.0, 1e-12);
+}
+
+TEST(AmplitudeSpectrum, HannWindowBoundsOffBinLeakage) {
+  // A tone landing exactly between two bins leaks everywhere with a
+  // rectangular window (sidelobes fall off as 1/|k|); under a Hann window
+  // the skirt drops fast enough that every bin further than 3 bins from
+  // the tone stays below 1% of the tone amplitude. The rectangular skirt
+  // violates that bound, which is what makes the windowed test meaningful.
+  constexpr size_t kN = 256;
+  constexpr double kFs = 256.0;  // bin spacing 1 Hz at n = 256
+  const double f_tone = 32.5;    // exactly half-way between bins 32 and 33
+  std::vector<double> x(kN);
+  for (size_t i = 0; i < kN; ++i)
+    x[i] = std::sin(kTwoPi * f_tone * static_cast<double>(i) / kFs);
+
+  const std::vector<double> window = hannWindow(kN);
+  const double gain = coherentGain(window);
+  const auto rect = amplitudeSpectrum(x, kFs);
+  auto windowed = amplitudeSpectrum(applyWindow(x, window), kFs);
+  for (auto& b : windowed) b.amplitude /= gain;  // undo the window's coherent loss
+
+  double max_far_rect = 0.0, max_far_hann = 0.0;
+  for (size_t k = 0; k < windowed.size(); ++k) {
+    const double dist = std::abs(static_cast<double>(k) - f_tone);
+    if (dist <= 3.0) continue;
+    max_far_rect = std::max(max_far_rect, rect[k].amplitude);
+    max_far_hann = std::max(max_far_hann, windowed[k].amplitude);
+  }
+  EXPECT_LT(max_far_hann, 0.01);           // documented leakage bound
+  EXPECT_GT(max_far_rect, max_far_hann);   // the window genuinely helps
+  EXPECT_GT(max_far_rect, 0.01);           // and the bound is not vacuous
 }
 
 }  // namespace

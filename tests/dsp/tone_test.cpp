@@ -121,5 +121,63 @@ TEST_P(FitPhaseSweep, PhaseRecoveredAcrossFullCircle) {
 INSTANTIATE_TEST_SUITE_P(Phases, FitPhaseSweep,
                          ::testing::Values(-3.0, -1.5, -0.5, 0.0, 0.5, 1.5, 3.0));
 
+// --- edge-of-spectrum and guard cases -------------------------------------
+
+TEST(Goertzel, DcBinIsThePlainSum) {
+  // At f = 0 the correlation kernel is identically 1, so the Goertzel
+  // recursion must collapse to a plain sum with no imaginary part.
+  const std::vector<double> x = {1.0, -2.0, 3.5, 0.25, -1.75};
+  const std::complex<double> dc = goertzel(x, 100.0, 0.0);
+  EXPECT_NEAR(dc.real(), 1.0 - 2.0 + 3.5 + 0.25 - 1.75, 1e-12);
+  EXPECT_NEAR(dc.imag(), 0.0, 1e-12);
+}
+
+TEST(Goertzel, NyquistBinIsTheAlternatingSum) {
+  // At f = fs/2 the kernel is (-1)^n: the correlation is the alternating
+  // sum, again purely real.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::complex<double> ny = goertzel(x, 100.0, 50.0);
+  EXPECT_NEAR(ny.real(), 1.0 - 2.0 + 3.0 - 4.0 + 5.0 - 6.0, 1e-9);
+  EXPECT_NEAR(ny.imag(), 0.0, 1e-9);
+}
+
+TEST(Goertzel, MatchesNaiveDftBinInPhaseToo) {
+  // Full complex agreement with the defining sum, not just magnitude.
+  const double fs = 1000.0, f = 35.0;  // 7 cycles in 200 samples: on-bin
+  const size_t n = 200;
+  auto x = makeSine(1.3, f, 0.4, 0.2, fs, n);
+  std::complex<double> dft = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    dft += x[i] * std::exp(std::complex<double>(0.0, -kTwoPi * f * static_cast<double>(i) / fs));
+  const std::complex<double> g = goertzel(x, fs, f);
+  EXPECT_NEAR(g.real(), dft.real(), 1e-6);
+  EXPECT_NEAR(g.imag(), dft.imag(), 1e-6);
+}
+
+TEST(Goertzel, EmptyInputIsZero) {
+  const std::complex<double> z = goertzel({}, 100.0, 10.0);
+  EXPECT_EQ(z.real(), 0.0);
+  EXPECT_EQ(z.imag(), 0.0);
+}
+
+TEST(FitSine, RejectsNonFiniteFrequencyInputs) {
+  const std::vector<double> t = {0.0, 0.1, 0.2, 0.3};
+  const std::vector<double> v = {0.0, 1.0, 0.0, -1.0};
+  EXPECT_THROW(fitSine(t, v, -2.5), std::invalid_argument);
+  EXPECT_THROW(fitSine(t, v, 0.0), std::invalid_argument);
+}
+
+TEST(FitSine, ConstantSignalFitsAsPureOffset) {
+  // A constant record contains no tone: the fit must put everything in the
+  // offset and report (near) zero amplitude and residual rather than
+  // failing on the (well-conditioned) normal equations.
+  const double fs = 1000.0, f = 50.0;
+  const std::vector<double> v(64, 2.5);
+  const ToneFit fit = fitSineUniform(v, fs, f);
+  EXPECT_NEAR(fit.offset, 2.5, 1e-9);
+  EXPECT_NEAR(fit.amplitude, 0.0, 1e-9);
+  EXPECT_NEAR(fit.residual_rms, 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace pllbist::dsp

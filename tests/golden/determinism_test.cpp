@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golden/differential.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace pllbist::golden {
+namespace {
+
+// Strip the documented timing fields and re-serialise canonically.
+std::string canonicalWithoutTiming(const std::string& text) {
+  obs::JsonValue root;
+  const Status s = obs::parseJson(text, root);
+  EXPECT_TRUE(s.ok()) << s.toString();
+  obs::stripTimingFields(root);
+  return root.dump();
+}
+
+// PR-2 guarantees the point farm is bit-identical across job counts; the
+// differential layer must preserve that all the way into the serialised
+// golden report. Everything except wall-clock timings — measured values,
+// deltas, verdicts, digests — must match byte for byte.
+TEST(GoldenDeterminism, JobsCountDoesNotChangeTheReport) {
+  const SeededConfig device = seededRandomConfig(11);
+
+  DifferentialOptions serial;
+  serial.seed = 11;
+  serial.jobs = 1;
+  DifferentialOptions farmed = serial;
+  farmed.jobs = 8;
+
+  const DifferentialReport a = runDifferential(device.config, serial, "determinism");
+  const DifferentialReport b = runDifferential(device.config, farmed, "determinism");
+
+  EXPECT_EQ(a.pass, b.pass);
+  EXPECT_EQ(a.compared, b.compared);
+  EXPECT_EQ(a.config_digest, b.config_digest);
+
+  // The raw documents differ in the jobs field and timings by design;
+  // normalise jobs and strip timings, then require byte identity.
+  obs::JsonValue ja, jb;
+  ASSERT_TRUE(obs::parseJson(a.toJson(), ja).ok());
+  ASSERT_TRUE(obs::parseJson(b.toJson(), jb).ok());
+  ja.find("config")->find("jobs")->number = 0;
+  jb.find("config")->find("jobs")->number = 0;
+  obs::stripTimingFields(ja);
+  obs::stripTimingFields(jb);
+  EXPECT_EQ(ja.dump(), jb.dump());
+}
+
+// Same seed, same options: the whole pipeline is a pure function, so two
+// runs serialise byte-identically once timing fields are stripped.
+TEST(GoldenDeterminism, RepeatRunsAreByteIdentical) {
+  const SeededConfig device = seededRandomConfig(17);
+  DifferentialOptions options;
+  options.seed = 17;
+  const DifferentialReport a = runDifferential(device.config, options, "repeat");
+  const DifferentialReport b = runDifferential(device.config, options, "repeat");
+  EXPECT_EQ(canonicalWithoutTiming(a.toJson()), canonicalWithoutTiming(b.toJson()));
+}
+
+// Different seeds pick different devices, so the reports must differ — a
+// guard against the seed silently not reaching the generator.
+TEST(GoldenDeterminism, DifferentSeedsProduceDifferentReports) {
+  DifferentialOptions o1, o2;
+  o1.seed = 19;
+  o2.seed = 23;
+  const DifferentialReport a = runDifferential(seededRandomConfig(19).config, o1, "seeded");
+  const DifferentialReport b = runDifferential(seededRandomConfig(23).config, o2, "seeded");
+  EXPECT_NE(a.config_digest, b.config_digest);
+  EXPECT_NE(canonicalWithoutTiming(a.toJson()), canonicalWithoutTiming(b.toJson()));
+}
+
+}  // namespace
+}  // namespace pllbist::golden

@@ -1,0 +1,182 @@
+#include "golden/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "control/grid.hpp"
+#include "pll/config.hpp"
+#include "support/tolerance.hpp"
+
+namespace pllbist::golden {
+namespace {
+
+using pllbist::testing::wrapDegrees;
+
+TEST(GoldenParameters, VoltagePumpHitsRequestedResponse) {
+  const pll::PllConfig config = pll::scaledTestConfig(200.0, 0.43);
+  const GoldenParameters p = deriveParameters(config);
+  EXPECT_NEAR(p.naturalFrequencyHz(), 200.0, 200.0 * 1e-9);
+  EXPECT_NEAR(p.zeta, 0.43, 0.43 * 1e-9);
+  EXPECT_GT(p.tau2_s, 0.0);
+  EXPECT_GT(p.loop_gain_per_s, 0.0);
+}
+
+TEST(GoldenParameters, CurrentPumpHitsRequestedResponse) {
+  const pll::PllConfig config = pll::scaledCurrentPumpConfig(150.0, 0.9);
+  const GoldenParameters p = deriveParameters(config);
+  EXPECT_NEAR(p.naturalFrequencyHz(), 150.0, 150.0 * 1e-9);
+  EXPECT_NEAR(p.zeta, 0.9, 0.9 * 1e-9);
+}
+
+// The oracle re-derives (wn, zeta) from the raw electrical constants; the
+// control layer solves the closed-loop denominator. Independent routes to
+// the same numbers — a bug in either shows up here.
+TEST(GoldenParameters, AgreesWithControlLayerSecondOrder) {
+  for (const pll::PllConfig& config :
+       {pll::scaledTestConfig(200.0, 0.43), pll::scaledTestConfig(320.0, 1.2),
+        pll::scaledCurrentPumpConfig(180.0, 0.5), pll::referenceConfig()}) {
+    const GoldenParameters p = deriveParameters(config);
+    const control::SecondOrderParams so = config.secondOrder();
+    EXPECT_NEAR(p.omega_n_rad_per_s, so.omega_n_rad_per_s, std::abs(so.omega_n_rad_per_s) * 1e-9);
+    EXPECT_NEAR(p.zeta, so.zeta, std::abs(so.zeta) * 1e-9);
+  }
+}
+
+TEST(GoldenParameters, ThrowsOnInvalidConfig) {
+  pll::PllConfig config = pll::scaledTestConfig();
+  config.divider_n = 0;
+  EXPECT_THROW((void)deriveParameters(config), std::invalid_argument);
+}
+
+// Cross-check the whole curve against the polynomial machinery the rest of
+// the repo uses. Agreement must be at numerical precision: both are exact
+// closed forms of the same plant.
+TEST(GoldenModel, MatchesCapacitorNodeTransferFunction) {
+  const pll::PllConfig config = pll::scaledTestConfig(200.0, 0.43);
+  const GoldenModel model(config);
+  const control::TransferFunction tf = config.capacitorNodeTf();
+  for (double fm : control::logspace(10.0, 2000.0, 25)) {
+    const double w = hzToRadPerSec(fm);
+    EXPECT_NEAR(model.magnitudeDb(fm), tf.magnitudeDbAt(w), 1e-9) << "fm = " << fm;
+    EXPECT_NEAR(wrapDegrees(model.phaseDeg(fm) - tf.phaseDegAt(w)), 0.0, 1e-9) << "fm = " << fm;
+  }
+}
+
+TEST(GoldenModel, MatchesDividedOutputTransferFunction) {
+  const pll::PllConfig config = pll::scaledCurrentPumpConfig(200.0, 0.7);
+  const GoldenModel model(config);
+  const control::TransferFunction tf = config.closedLoopDividedTf();
+  for (double fm : control::logspace(10.0, 2000.0, 25)) {
+    const double w = hzToRadPerSec(fm);
+    EXPECT_NEAR(model.magnitudeDb(fm, ResponseKind::DividedOutput), tf.magnitudeDbAt(w), 1e-9)
+        << "fm = " << fm;
+    EXPECT_NEAR(
+        wrapDegrees(model.phaseDeg(fm, ResponseKind::DividedOutput) - tf.phaseDegAt(w)), 0.0,
+        1e-9)
+        << "fm = " << fm;
+  }
+}
+
+TEST(GoldenModel, DcAnchorsAndNinetyDegreeCrossing) {
+  const GoldenModel model(pll::scaledTestConfig(200.0, 0.43));
+  EXPECT_NEAR(model.magnitudeDb(1e-3), 0.0, 1e-6);
+  EXPECT_NEAR(model.phaseDeg(1e-3), 0.0, 1e-3);
+  // The two-pole phase crosses exactly -90 degrees at fn.
+  EXPECT_NEAR(model.phaseDeg(model.phase90CrossingHz()), -90.0, 1e-9);
+}
+
+TEST(GoldenModel, PeakingMatchesClosedForm) {
+  const double zeta = 0.43;
+  const GoldenModel model(pll::scaledTestConfig(200.0, zeta));
+  ASSERT_TRUE(model.peakFrequencyHz().has_value());
+  ASSERT_TRUE(model.peakingDb().has_value());
+  const double fp = *model.peakFrequencyHz();
+  EXPECT_NEAR(fp, 200.0 * std::sqrt(1.0 - 2.0 * zeta * zeta), 1e-6);
+  // The analytic peak height 1/(2*zeta*sqrt(1-zeta^2)).
+  const double expected_db = amplitudeToDb(1.0 / (2.0 * zeta * std::sqrt(1.0 - zeta * zeta)));
+  EXPECT_NEAR(*model.peakingDb(), expected_db, 1e-9);
+  // And the curve really is highest there.
+  EXPECT_NEAR(model.magnitudeDb(fp), expected_db, 1e-9);
+  EXPECT_LT(model.magnitudeDb(fp * 1.05), *model.peakingDb());
+  EXPECT_LT(model.magnitudeDb(fp * 0.95), *model.peakingDb());
+}
+
+TEST(GoldenModel, NoPeakAboveCriticalFlatness) {
+  const GoldenModel model(pll::scaledTestConfig(200.0, 0.8));  // zeta > 1/sqrt(2)
+  EXPECT_FALSE(model.peakFrequencyHz().has_value());
+  EXPECT_FALSE(model.peakingDb().has_value());
+}
+
+TEST(GoldenModel, BandwidthIsTheHalfPowerPoint) {
+  for (double zeta : {0.35, 0.7071, 1.3}) {
+    const GoldenModel model(pll::scaledTestConfig(200.0, zeta));
+    const double bw = model.bandwidth3DbHz();
+    EXPECT_GT(bw, 0.0);
+    EXPECT_NEAR(model.magnitudeDb(bw), amplitudeToDb(1.0 / std::sqrt(2.0)), 1e-9)
+        << "zeta = " << zeta;
+  }
+}
+
+TEST(GoldenModel, StepResponseAllDampingRegimes) {
+  for (double zeta : {0.3, 0.9999995, 1.0, 1.7}) {
+    const GoldenModel model(pll::scaledTestConfig(200.0, zeta));
+    const double tn = 1.0 / model.naturalFrequencyHz();
+    EXPECT_NEAR(model.stepResponse(0.0), 0.0, 1e-12) << "zeta = " << zeta;
+    EXPECT_NEAR(model.stepResponse(60.0 * tn), 1.0, 1e-6) << "zeta = " << zeta;
+    // Sample a dense grid: the overshoot over the whole response matches
+    // the closed-form first-overshoot fraction.
+    double peak = 0.0;
+    for (int i = 1; i <= 4000; ++i) {
+      const double y = model.stepResponse(i * (20.0 * tn / 4000.0));
+      if (y > peak) peak = y;
+    }
+    EXPECT_NEAR(peak - 1.0, model.stepOvershootFraction(), 2e-3) << "zeta = " << zeta;
+  }
+}
+
+// The critically-damped closed form must join the under/overdamped branches
+// continuously — a classic source of sign errors.
+TEST(GoldenModel, StepResponseContinuousAcrossCriticalDamping) {
+  const GoldenModel under(pll::scaledTestConfig(200.0, 0.999999));
+  const GoldenModel critical(pll::scaledTestConfig(200.0, 1.0));
+  const GoldenModel over(pll::scaledTestConfig(200.0, 1.000001));
+  const double tn = 1.0 / 200.0;
+  for (double t : {0.1 * tn, 0.5 * tn, tn, 3.0 * tn}) {
+    EXPECT_NEAR(under.stepResponse(t), critical.stepResponse(t), 1e-4) << "t = " << t;
+    EXPECT_NEAR(over.stepResponse(t), critical.stepResponse(t), 1e-4) << "t = " << t;
+  }
+}
+
+TEST(GoldenModel, LockEstimatesAreOrderedAndPositive) {
+  const GoldenModel model(pll::scaledTestConfig(200.0, 0.43));
+  EXPECT_GT(model.lockInRangeHz(), 0.0);
+  EXPECT_GT(model.pullOutRangeHz(), 0.0);
+  // Fast capture is a subset of pull-out for any zeta > 0:
+  // 2*zeta*wn < 1.8*wn*(zeta+1).
+  EXPECT_LT(model.lockInRangeHz(), model.pullOutRangeHz());
+  EXPECT_NEAR(model.lockInTimeS(), 1.0 / 200.0, 1e-12);
+}
+
+TEST(GoldenModel, CurveSamplesMatchPointEvaluation) {
+  const GoldenModel model(pll::scaledTestConfig(250.0, 0.6));
+  const std::vector<double> grid = control::logspace(50.0, 800.0, 7);
+  const std::vector<GoldenPoint> curve = model.curve(grid, ResponseKind::DividedOutput);
+  ASSERT_EQ(curve.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve[i].fm_hz, grid[i]);
+    EXPECT_DOUBLE_EQ(curve[i].magnitude_db,
+                     model.magnitudeDb(grid[i], ResponseKind::DividedOutput));
+    EXPECT_DOUBLE_EQ(curve[i].phase_deg, model.phaseDeg(grid[i], ResponseKind::DividedOutput));
+  }
+}
+
+TEST(GoldenModel, ResponseKindNames) {
+  EXPECT_STREQ(to_string(ResponseKind::CapacitorNode), "capacitor-node");
+  EXPECT_STREQ(to_string(ResponseKind::DividedOutput), "divided-output");
+}
+
+}  // namespace
+}  // namespace pllbist::golden

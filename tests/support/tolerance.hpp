@@ -1,0 +1,100 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace pllbist::testing {
+
+// Shared tolerance constants for BIST-vs-theory comparisons, mirroring the
+// DESIGN.md section 9 band contract. Tests that gate a whole sweep should
+// prefer golden::ToleranceBands; these are for single-point spot checks.
+inline constexpr double kInBandMagnitudeTolDb = 1.0;
+inline constexpr double kInBandPhaseTolDeg = 5.0;
+inline constexpr double kPeakMagnitudeTolDb = 2.5;
+inline constexpr double kPeakPhaseTolDeg = 25.0;
+
+/// Wrap a degree difference into (-180, 180] so comparisons near the branch
+/// cut (+180 vs -180) measure the short way around the circle.
+inline double wrapDegrees(double deg) {
+  while (deg <= -180.0) deg += 360.0;
+  while (deg > 180.0) deg -= 360.0;
+  return deg;
+}
+
+/// dB-domain comparator. Unlike EXPECT_NEAR, a NaN or infinity on either
+/// side fails with a message naming the non-finite operand instead of
+/// silently failing the < comparison.
+inline ::testing::AssertionResult dbNear(const char* actual_expr, const char* expected_expr,
+                                         const char* tol_expr, double actual, double expected,
+                                         double tol_db) {
+  if (!std::isfinite(actual))
+    return ::testing::AssertionFailure()
+           << actual_expr << " is not finite (" << actual << ") while comparing against "
+           << expected_expr << " = " << expected << " dB";
+  if (!std::isfinite(expected))
+    return ::testing::AssertionFailure()
+           << expected_expr << " is not finite (" << expected << ") while comparing against "
+           << actual_expr << " = " << actual << " dB";
+  const double delta = actual - expected;
+  if (std::abs(delta) <= tol_db) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << actual_expr << " = " << actual << " dB differs from " << expected_expr << " = "
+         << expected << " dB by " << delta << " dB (tolerance " << tol_expr << " = " << tol_db
+         << " dB)";
+}
+
+/// Degree-domain comparator: wraps the difference into (-180, 180] before
+/// applying the tolerance, and rejects non-finite operands like dbNear.
+inline ::testing::AssertionResult phaseNearDeg(const char* actual_expr, const char* expected_expr,
+                                               const char* tol_expr, double actual, double expected,
+                                               double tol_deg) {
+  if (!std::isfinite(actual))
+    return ::testing::AssertionFailure()
+           << actual_expr << " is not finite (" << actual << ") while comparing against "
+           << expected_expr << " = " << expected << " deg";
+  if (!std::isfinite(expected))
+    return ::testing::AssertionFailure()
+           << expected_expr << " is not finite (" << expected << ") while comparing against "
+           << actual_expr << " = " << actual << " deg";
+  const double delta = wrapDegrees(actual - expected);
+  if (std::abs(delta) <= tol_deg) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << actual_expr << " = " << actual << " deg differs from " << expected_expr << " = "
+         << expected << " deg by " << delta << " deg wrapped (tolerance " << tol_expr << " = "
+         << tol_deg << " deg)";
+}
+
+/// ULP-distance equality for doubles: true when a and b are within
+/// `max_ulps` representable values of each other. NaN never matches; +0.0
+/// and -0.0 match. Use where a relative epsilon is too blunt (e.g. checking
+/// bit-level determinism allowances).
+inline bool ulpsEqual(double a, double b, int max_ulps = 4) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (a == b) return true;  // covers +-0.0 and exact equality
+  if (std::isinf(a) || std::isinf(b)) return false;
+  if ((a < 0.0) != (b < 0.0)) return false;
+  // With matching signs, the IEEE-754 bit patterns are monotone in value,
+  // so the ULP distance is the difference of the (payload) bit patterns.
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  const std::uint64_t dist = ua > ub ? ua - ub : ub - ua;
+  return dist <= static_cast<std::uint64_t>(max_ulps);
+}
+
+}  // namespace pllbist::testing
+
+/// EXPECT-style wrappers so failures print the offending expressions.
+#define EXPECT_DB_NEAR(actual, expected, tol_db) \
+  EXPECT_PRED_FORMAT3(::pllbist::testing::dbNear, actual, expected, tol_db)
+#define ASSERT_DB_NEAR(actual, expected, tol_db) \
+  ASSERT_PRED_FORMAT3(::pllbist::testing::dbNear, actual, expected, tol_db)
+#define EXPECT_PHASE_NEAR_DEG(actual, expected, tol_deg) \
+  EXPECT_PRED_FORMAT3(::pllbist::testing::phaseNearDeg, actual, expected, tol_deg)
+#define ASSERT_PHASE_NEAR_DEG(actual, expected, tol_deg) \
+  ASSERT_PRED_FORMAT3(::pllbist::testing::phaseNearDeg, actual, expected, tol_deg)

@@ -1,0 +1,297 @@
+// Seeded fuzz driver for the sweep stack: mutate device + sweep options
+// around the seeded-config family, optionally choreograph sim-level faults
+// through the PR-1 injector, run a short resilient sweep and hold the
+// result to the library's structural invariants:
+//
+//   1. no NaN/Inf escapes a MeasuredPoint or the quality roll-up;
+//   2. every Status carries a kind inside the taxonomy (kindName never
+//      falls through to "unknown"), and invalid options are rejected as
+//      InvalidArgument instead of crashing;
+//   3. the SweepQualityReport counters are internally consistent;
+//   4. the consolidated RunReport round-trips through the obs JSON parser
+//      (toJson -> parse -> validate -> dump -> reparse -> dump fixpoint).
+//
+// Built two ways:
+//   - standalone driver (always): fuzz_sweep --seed N --runs N
+//     [--max-seconds S] [--verbose] — deterministic, used by the
+//     `fuzz_smoke` ctest entry;
+//   - libFuzzer target (clang + -DPLLBIST_FUZZ=ON): the same fuzzOne()
+//     behind LLVMFuzzerTestOneInput.
+//
+// Any invariant violation prints the offending seed and aborts, so both
+// the smoke test and the libFuzzer loop detect it.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bist/controller.hpp"
+#include "bist/resilient_sweep.hpp"
+#include "bist/testbench.hpp"
+#include "core/report_builder.hpp"
+#include "golden/differential.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace {
+
+using pllbist::Status;
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unitInterval(uint64_t bits) { return static_cast<double>(bits >> 11) * 0x1.0p-53; }
+
+struct FuzzStats {
+  uint64_t runs = 0;
+  uint64_t swept = 0;     ///< sweeps that actually ran
+  uint64_t rejected = 0;  ///< option mutations refused as InvalidArgument
+  uint64_t faulted = 0;   ///< runs with the injector attached
+};
+
+[[noreturn]] void fail(uint64_t seed, const char* invariant, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_sweep: INVARIANT VIOLATION [seed 0x%016llx] %s: %s\n",
+               static_cast<unsigned long long>(seed), invariant, detail.c_str());
+  std::abort();
+}
+
+void requireFinite(uint64_t seed, const char* what, double v) {
+  if (!std::isfinite(v)) fail(seed, "finite", std::string(what) + " is not finite");
+}
+
+// The Status taxonomy is total: every kind the library can produce has a
+// name, and kindName never falls through to a placeholder.
+void requireTaxonomy(uint64_t seed, const Status& s, const char* where) {
+  const char* name = Status::kindName(s.kind());
+  if (name == nullptr || *name == '\0' || std::strcmp(name, "unknown") == 0)
+    fail(seed, "status-taxonomy", std::string(where) + ": unnamed status kind");
+}
+
+// One fuzz iteration. `data` seeds a splitmix64 stream; the stream picks
+// the device, mutates the sweep options (sometimes into invalid shapes on
+// purpose) and decides the fault choreography. Returns stats deltas via
+// `st`.
+void fuzzOne(const uint8_t* data, size_t size, FuzzStats& st) {
+  ++st.runs;
+  uint64_t seed = pllbist::obs::fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  if (seed == 0) seed = 1;
+  uint64_t state = seed;
+
+  // Device from the same seeded family as the golden differential suite:
+  // fn in [120, 420] Hz, zeta in [0.3, 1.5], both pump kinds.
+  const pllbist::golden::SeededConfig device = pllbist::golden::seededRandomConfig(seed);
+  const pllbist::pll::PllConfig& config = device.config;
+
+  pllbist::bist::SweepOptions sweep = pllbist::bist::quickSweepOptions(
+      config, pllbist::bist::StimulusKind::MultiToneFsk, 3);
+  sweep.modulation_frequencies_hz = {0.3 * device.fn_hz, 1.0 * device.fn_hz,
+                                     2.0 * device.fn_hz};
+  sweep.jitter_seed = static_cast<unsigned>(seed);
+
+  // Structured mutations. Each draw perturbs one knob; a slice of the
+  // space is deliberately invalid to exercise the rejection path.
+  const uint64_t knobs = splitmix64(state);
+  sweep.fm_steps = 4 + static_cast<int>(splitmix64(state) % 37);  // 4..40
+  sweep.deviation_hz *= 0.25 + 3.75 * unitInterval(splitmix64(state));
+  if ((knobs & 0x01) != 0) sweep.master_clock_hz *= ((knobs & 0x02) != 0) ? 2.0 : 0.5;
+  if ((knobs & 0x04) != 0)
+    sweep.sequencer.settle_periods = 1 + static_cast<int>(splitmix64(state) % 6);
+  if ((knobs & 0x08) != 0)
+    sweep.sequencer.average_periods = 1 + static_cast<int>(splitmix64(state) % 8);
+
+  const unsigned poison = static_cast<unsigned>(splitmix64(state) % 16);
+  switch (poison) {
+    case 0: sweep.deviation_hz = -sweep.deviation_hz; break;          // negative depth
+    case 1: sweep.modulation_frequencies_hz.clear(); break;           // empty plan
+    case 2:                                                           // descending plan
+      std::swap(sweep.modulation_frequencies_hz.front(), sweep.modulation_frequencies_hz.back());
+      break;
+    case 3: sweep.fm_steps = 0; break;                                // no FSK slots
+    case 4: sweep.deviation_hz = 2.0 * config.ref_frequency_hz; break;  // DCO wraps 0 Hz
+    default: break;  // leave valid
+  }
+
+  // Invariant 2 (rejection path): a bad plan must come back as a named
+  // InvalidArgument, never crash and never pass.
+  const Status precheck = sweep.check(config);
+  requireTaxonomy(seed, precheck, "SweepOptions::check");
+  if (!precheck.ok()) {
+    if (precheck.kind() != Status::Kind::InvalidArgument)
+      fail(seed, "status-taxonomy",
+           "option rejection is not InvalidArgument: " + precheck.toString());
+    ++st.rejected;
+    return;
+  }
+  if (poison <= 4)
+    fail(seed, "status-taxonomy", "poisoned options passed SweepOptions::check");
+
+  pllbist::bist::ResilientSweepOptions resilience;
+  resilience.max_attempts = 2;
+  pllbist::bist::ResilientSweep engine(config, sweep, resilience);
+
+  // Fault choreography on a slice of the runs: drop or stick the divided
+  // output under the sweep and require the taxonomy to absorb it.
+  const uint64_t fault_draw = splitmix64(state);
+  const bool inject = (fault_draw & 0x03) == 0;  // ~25% of valid runs
+  if (inject) {
+    ++st.faulted;
+    const double drop_p = 0.05 + 0.30 * unitInterval(splitmix64(state));
+    const uint64_t inj_seed = splitmix64(state) | 1;
+    engine.onTestbench([drop_p, inj_seed, fault_draw](pllbist::bist::SweepTestbench& tb) {
+      pllbist::sim::FaultInjector& inj = tb.faultInjector(inj_seed);
+      if ((fault_draw & 0x04) != 0)
+        inj.dropEdges(tb.mfreq(), drop_p);
+      else
+        inj.delayEdges(tb.mfreq(), drop_p, 1e-7, 1e-5);
+    });
+  }
+
+  const pllbist::bist::ResilientResponse result = engine.run();
+  ++st.swept;
+
+  // Invariant 2 (result path): every status the stack produced is named.
+  requireTaxonomy(seed, result.status, "sweep status");
+  for (const pllbist::bist::MeasuredPoint& p : result.response.points) {
+    requireTaxonomy(seed, p.status, "point status");
+    const char* q = to_string(p.quality);
+    if (q == nullptr || *q == '\0')
+      fail(seed, "status-taxonomy", "unnamed point quality");
+    // Invariant 1: no NaN/Inf escapes a measurement, timed out or not.
+    requireFinite(seed, "modulation_hz", p.modulation_hz);
+    requireFinite(seed, "deviation_hz", p.deviation_hz);
+    requireFinite(seed, "phase_deg", p.phase_deg);
+    requireFinite(seed, "unity_gain_deviation_hz", p.unity_gain_deviation_hz);
+    requireFinite(seed, "wall_time_s", p.wall_time_s);
+    if (p.attempts < 1) fail(seed, "quality-rollup", "point consumed < 1 attempt");
+  }
+  requireFinite(seed, "nominal_vco_hz", result.response.nominal_vco_hz);
+  requireFinite(seed, "static_reference_deviation_hz",
+                result.response.static_reference_deviation_hz);
+
+  // Invariant 3: the quality roll-up counters agree with themselves and
+  // with the measured points.
+  const pllbist::bist::SweepQualityReport& rep = result.report;
+  const int classified = rep.ok + rep.retried + rep.degraded + rep.dropped;
+  if (classified != rep.points_total)
+    fail(seed, "quality-rollup",
+         "ok+retried+degraded+dropped = " + std::to_string(classified) + " != points_total = " +
+             std::to_string(rep.points_total));
+  if (rep.points_total != static_cast<int>(result.response.points.size()))
+    fail(seed, "quality-rollup", "points_total disagrees with response.points.size()");
+  if (rep.attempts_total < rep.points_total)
+    fail(seed, "quality-rollup", "attempts_total < points_total");
+  if (rep.usable() != rep.points_total - rep.dropped)
+    fail(seed, "quality-rollup", "usable() != points_total - dropped");
+  requireFinite(seed, "sim_time_s", rep.sim_time_s);
+  requireFinite(seed, "wall_time_s", rep.wall_time_s);
+
+  // Invariant 4: the consolidated report round-trips through the PR-3
+  // parser and re-serialises to a fixpoint.
+  const pllbist::obs::RunReport run =
+      pllbist::core::buildRunReport("fuzz_sweep", "fuzz", config, sweep, -1, result);
+  const std::string text = run.toJson();
+  pllbist::obs::JsonValue root;
+  const Status parsed = pllbist::obs::parseJson(text, root);
+  if (!parsed.ok()) fail(seed, "report-roundtrip", "toJson unparseable: " + parsed.toString());
+  const Status valid = pllbist::obs::validateRunReportJson(root);
+  if (!valid.ok()) fail(seed, "report-roundtrip", "schema violation: " + valid.toString());
+  const std::string dumped = root.dump();
+  pllbist::obs::JsonValue again;
+  if (!pllbist::obs::parseJson(dumped, again).ok())
+    fail(seed, "report-roundtrip", "canonical dump unparseable");
+  if (again.dump() != dumped) fail(seed, "report-roundtrip", "dump -> parse -> dump not a fixpoint");
+  pllbist::obs::stripTimingFields(again);
+  if (!pllbist::obs::validateRunReportJson(again).ok())
+    fail(seed, "report-roundtrip", "stripped report no longer validates");
+}
+
+}  // namespace
+
+#if defined(PLLBIST_FUZZ_LIBFUZZER)
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static FuzzStats st;
+  fuzzOne(data, size, st);
+  return 0;
+}
+
+#else  // standalone seeded driver
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--runs N] [--max-seconds S] [--verbose]\n"
+               "Deterministic seeded fuzz of the sweep stack; aborts on the first\n"
+               "invariant violation. Stops at --runs iterations or the --max-seconds\n"
+               "budget, whichever comes first.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  uint64_t runs = 50;
+  double max_seconds = 60.0;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fuzz_sweep: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") seed = std::strtoull(next("--seed"), nullptr, 0);
+    else if (arg == "--runs") runs = std::strtoull(next("--runs"), nullptr, 0);
+    else if (arg == "--max-seconds") max_seconds = std::strtod(next("--max-seconds"), nullptr);
+    else if (arg == "--verbose") verbose = true;
+    else return usage(argv[0]);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  FuzzStats st;
+  for (uint64_t i = 0; i < runs; ++i) {
+    uint8_t buf[16];
+    const uint64_t a = seed, b = i;
+    std::memcpy(buf, &a, 8);
+    std::memcpy(buf + 8, &b, 8);
+    fuzzOne(buf, sizeof buf, st);
+    const double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    if (verbose)
+      std::printf("run %llu/%llu  swept=%llu rejected=%llu faulted=%llu  %.1fs\n",
+                  static_cast<unsigned long long>(i + 1), static_cast<unsigned long long>(runs),
+                  static_cast<unsigned long long>(st.swept),
+                  static_cast<unsigned long long>(st.rejected),
+                  static_cast<unsigned long long>(st.faulted), elapsed);
+    if (elapsed > max_seconds) break;
+  }
+  std::printf("fuzz_sweep: %llu runs (%llu swept, %llu rejected, %llu faulted), 0 violations\n",
+              static_cast<unsigned long long>(st.runs),
+              static_cast<unsigned long long>(st.swept),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.faulted));
+  if (st.swept == 0) {
+    std::fprintf(stderr, "fuzz_sweep: no iteration exercised a sweep — widen the budget\n");
+    return 1;
+  }
+  return 0;
+}
+
+#endif  // PLLBIST_FUZZ_LIBFUZZER

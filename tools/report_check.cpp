@@ -1,11 +1,17 @@
-// RunReport schema checker: validates that a JSON document conforms to the
-// pllbist.run_report/1 schema (see obs/report.hpp). Pure C++, no external
-// tooling — CI and the obs test suite use it to round-trip reports that
-// sweep_cli --report emits.
+// Report schema checker: validates that a JSON document conforms to one of
+// the report schemas (see obs/report.hpp) — dispatched on the document's
+// own "schema" field:
+//
+//   pllbist.run_report/1     the consolidated sweep report (sweep_cli --report)
+//   pllbist.golden_report/1  the golden-model differential report
+//
+// Pure C++, no external tooling — CI and the obs test suite use it to
+// round-trip reports the tools emit.
 //
 //   report_check file.json [more.json ...]   validate files, exit 0 iff all pass
-//   report_check --selftest                  build a report in-process, serialise,
-//                                            re-parse, validate, and check that
+//   report_check --selftest                  build reports of both schemas
+//                                            in-process, serialise, re-parse,
+//                                            validate, and check that
 //                                            stripTimingFields removes exactly
 //                                            the documented timing paths
 
@@ -23,6 +29,24 @@ namespace {
 
 using namespace pllbist;
 
+// Route a parsed document to the validator its "schema" field names.
+Status validateBySchema(const obs::JsonValue& doc, const char** schema_out) {
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->isString())
+    return Status::make(Status::Kind::InvalidArgument, "document has no 'schema' string");
+  if (schema->string == obs::kRunReportSchema) {
+    *schema_out = obs::kRunReportSchema;
+    return obs::validateRunReportJson(doc);
+  }
+  if (schema->string == obs::kGoldenReportSchema) {
+    *schema_out = obs::kGoldenReportSchema;
+    return obs::validateGoldenReportJson(doc);
+  }
+  return Status::makef(Status::Kind::InvalidArgument,
+                       "unsupported schema '%s' (expected '%s' or '%s')",
+                       schema->string.c_str(), obs::kRunReportSchema, obs::kGoldenReportSchema);
+}
+
 int checkFile(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -31,12 +55,17 @@ int checkFile(const char* path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const Status s = obs::validateRunReportText(buf.str());
-  if (!s.ok()) {
+  obs::JsonValue doc;
+  if (Status s = obs::parseJson(buf.str(), doc); !s.ok()) {
     std::fprintf(stderr, "report_check: %s: %s\n", path, s.toString().c_str());
     return 1;
   }
-  std::printf("report_check: %s: ok\n", path);
+  const char* schema = "?";
+  if (Status s = validateBySchema(doc, &schema); !s.ok()) {
+    std::fprintf(stderr, "report_check: %s: %s\n", path, s.toString().c_str());
+    return 1;
+  }
+  std::printf("report_check: %s: ok (%s)\n", path, schema);
   return 0;
 }
 
@@ -133,6 +162,108 @@ int selftest() {
   return 0;
 }
 
+// A minimal but fully populated golden_report document: two bands, one
+// compared in-band point, one excluded tail point, a consistent summary.
+// Handcrafted (rather than produced by golden::runDifferential) so the
+// checker stays a pure obs-layer tool with no simulator dependency.
+const char kGoldenExample[] = R"({
+  "schema": "pllbist.golden_report/1",
+  "tool": "golden_differential",
+  "config": {
+    "device": "selftest", "stimulus": "multi-tone-fsk",
+    "digest": "0x00000000deadbeef", "seed": "0x0000000000000007",
+    "jobs": 1, "fn_hz": 200.0, "zeta": 0.43, "tau2_s": 0.0016,
+    "loop_gain_per_s": 540.0, "transport_delay_ref_periods": 1.0
+  },
+  "tolerance_bands": [
+    { "label": "in-band", "f_over_fn_max": 0.4, "magnitude_db": 1.0, "phase_deg": 5.0 },
+    { "label": "peak", "f_over_fn_max": 1.75, "magnitude_db": 2.5, "phase_deg": 12.0 }
+  ],
+  "sweep_status": "ok",
+  "quality": {
+    "points_total": 2, "ok": 2, "retried": 0, "degraded": 0, "dropped": 0,
+    "attempts_total": 2, "relocks": 0, "relock_failures": 0,
+    "sim_time_s": 1.0, "wall_time_s": 0.5
+  },
+  "points": [
+    { "fm_hz": 60.0, "f_over_fn": 0.3, "measured_db": -0.4, "golden_db": -0.5,
+      "delta_db": 0.1, "measured_phase_deg": -30.0, "golden_phase_deg": -27.0,
+      "delay_correction_deg": 2.2, "delta_phase_deg": -0.8,
+      "magnitude_tol_db": 1.0, "phase_tol_deg": 5.0,
+      "band": "in-band", "quality": "ok", "compared": true, "pass": true,
+      "wall_time_s": 0.2 },
+    { "fm_hz": 600.0, "f_over_fn": 3.0, "measured_db": -18.0, "golden_db": -19.0,
+      "delta_db": 1.0, "measured_phase_deg": -160.0, "golden_phase_deg": -150.0,
+      "delay_correction_deg": 21.6, "delta_phase_deg": 11.6,
+      "magnitude_tol_db": 0.0, "phase_tol_deg": 0.0,
+      "band": "excluded", "quality": "ok", "compared": false, "pass": false,
+      "wall_time_s": 0.3 }
+  ],
+  "summary": {
+    "compared": 1, "excluded": 1,
+    "max_abs_delta_db": 0.1, "max_abs_delta_phase_deg": 0.8, "pass": true
+  }
+})";
+
+int goldenSelftest() {
+  obs::JsonValue doc;
+  if (Status s = obs::parseJson(kGoldenExample, doc); !s.ok()) {
+    std::fprintf(stderr, "golden selftest: example does not parse: %s\n", s.toString().c_str());
+    return 1;
+  }
+  const char* schema = "?";
+  if (Status s = validateBySchema(doc, &schema); !s.ok()) {
+    std::fprintf(stderr, "golden selftest: example fails validation: %s\n", s.toString().c_str());
+    return 1;
+  }
+  if (std::strcmp(schema, obs::kGoldenReportSchema) != 0) {
+    std::fprintf(stderr, "golden selftest: dispatched to the wrong validator (%s)\n", schema);
+    return 1;
+  }
+
+  // Timing strip applies to golden reports with the same field names.
+  obs::stripTimingFields(doc);
+  if (Status s = obs::validateGoldenReportJson(doc); !s.ok()) {
+    std::fprintf(stderr, "golden selftest: stripped report fails validation: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+  if (doc.dump().find("wall_time_s") != std::string::npos) {
+    std::fprintf(stderr, "golden selftest: stripTimingFields left a wall_time_s behind\n");
+    return 1;
+  }
+
+  // Negative checks: the cross-checked summary and the band ordering are
+  // actually enforced.
+  obs::JsonValue bad;
+  (void)obs::parseJson(kGoldenExample, bad);
+  if (obs::JsonValue* summary = bad.find("summary"))
+    if (obs::JsonValue* compared = summary->find("compared")) compared->number = 2.0;
+  if (obs::validateGoldenReportJson(bad).ok()) {
+    std::fprintf(stderr, "golden selftest: inconsistent summary.compared was accepted\n");
+    return 1;
+  }
+  (void)obs::parseJson(kGoldenExample, bad);
+  if (obs::JsonValue* bands = bad.find("tolerance_bands"))
+    if (!bands->array.empty())
+      if (obs::JsonValue* edge = bands->array.front().find("f_over_fn_max"))
+        edge->number = 9.0;  // now descending
+  if (obs::validateGoldenReportJson(bad).ok()) {
+    std::fprintf(stderr, "golden selftest: descending band edges were accepted\n");
+    return 1;
+  }
+  (void)obs::parseJson(kGoldenExample, bad);
+  if (obs::JsonValue* schema_field = bad.find("schema")) schema_field->string = "bogus/9";
+  const char* ignored = "?";
+  if (validateBySchema(bad, &ignored).ok()) {
+    std::fprintf(stderr, "golden selftest: unknown schema string was accepted\n");
+    return 1;
+  }
+
+  std::printf("report_check: golden selftest ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,7 +273,7 @@ int main(int argc, char** argv) {
   }
   int rc = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--selftest") == 0) rc |= selftest();
+    if (std::strcmp(argv[i], "--selftest") == 0) rc |= selftest() | goldenSelftest();
     else rc |= checkFile(argv[i]);
   }
   return rc;
