@@ -1,0 +1,173 @@
+// Chaos-runtime cost bench: what the crash-tolerance layer actually costs.
+//
+//   1. Journaling overhead — the same campaign run with and without the
+//      fsync'd checkpoint journal, reported as wall-clock delta (%) plus
+//      the per-record append latency p50/p95 straight from the
+//      campaign.journal_append_wall_s histogram.
+//   2. Resume latency — a fully committed journal replayed R times (zero
+//      points re-simulated), end-to-end run() wall p50/p95 plus the
+//      journal-load slice from campaign.resume_load_wall_s.
+//
+//   campaign_chaos [--points N] [--resumes R] [--device reference|fast]
+//
+// Exit code 1 only on a correctness violation (a resumed campaign that
+// re-simulates points, or a journaled result that differs from the plain
+// one); timing is reported but never gates, so the binary stays usable on
+// loaded CI hosts.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "pll/config.hpp"
+
+namespace {
+
+using namespace pllbist;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double sampleQuantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  return xs[lo] + (pos - static_cast<double>(lo)) * (xs[hi] - xs[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int points = 12;
+  int resumes = 20;
+  std::string device = "fast";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
+      points = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--resumes") == 0 && i + 1 < argc) {
+      resumes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      device = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--points N] [--resumes R] [--device reference|fast]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (points < 2) points = 2;
+  if (resumes < 1) resumes = 1;
+
+  const pll::PllConfig cfg =
+      device == "reference" ? pll::referenceConfig() : pll::scaledTestConfig(200.0, 0.43);
+  const bist::SweepOptions sweep =
+      bist::quickSweepOptions(cfg, bist::StimulusKind::MultiToneFsk, points);
+  const std::string journal = std::string("/tmp/pllbist_campaign_chaos_") +
+                              std::to_string(static_cast<long>(::getpid())) + ".jsonl";
+
+  std::printf("campaign_chaos: %d points on the '%s' device, %d resume reps\n\n", points,
+              device.c_str(), resumes);
+
+  // --- 1. Journaling overhead -------------------------------------------
+  // Warm-up run absorbs one-time costs (metric registration, allocator).
+  {
+    core::Campaign warm(cfg, sweep, {});
+    (void)warm.run();
+  }
+  // Best-of-3 per variant: a campaign is one shot, so scheduler noise on a
+  // single run easily dwarfs the journaling cost being measured.
+  double plain_s = 0.0, journaled_s = 0.0;
+  core::CampaignResult plain_result, journaled_result;
+  obs::MetricsRegistry::global().reset();  // scope append stats to this bench
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t_plain = Clock::now();
+    core::Campaign plain(cfg, sweep, {});
+    plain_result = plain.run();
+    const double p = secondsSince(t_plain);
+    plain_s = rep == 0 ? p : std::min(plain_s, p);
+
+    core::CampaignOptions jopt;
+    jopt.journal_path = journal;
+    const auto t_journaled = Clock::now();
+    core::Campaign journaled(cfg, sweep, jopt);
+    journaled_result = journaled.run();
+    const double j = secondsSince(t_journaled);
+    journaled_s = rep == 0 ? j : std::min(journaled_s, j);
+  }
+
+  if (!plain_result.status.ok() || !journaled_result.status.ok()) {
+    std::fprintf(stderr, "campaign failed: %s / %s\n", plain_result.status.toString().c_str(),
+                 journaled_result.status.toString().c_str());
+    return 1;
+  }
+  bool identical = plain_result.merged.response.points.size() ==
+                   journaled_result.merged.response.points.size();
+  for (std::size_t i = 0; identical && i < plain_result.merged.response.points.size(); ++i) {
+    identical = std::memcmp(&plain_result.merged.response.points[i].deviation_hz,
+                            &journaled_result.merged.response.points[i].deviation_hz,
+                            sizeof(double)) == 0;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "MISMATCH: journaling changed the measured response\n");
+    return 1;
+  }
+
+  const double overhead_pct = 100.0 * (journaled_s - plain_s) / plain_s;
+  std::printf("journal off : %8.3f s\n", plain_s);
+  std::printf("journal on  : %8.3f s  (overhead %+.2f%%)\n", journaled_s, overhead_pct);
+  {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    if (const obs::HistogramValue* h = snap.findHistogram("campaign.journal_append_wall_s")) {
+      std::printf("append      : %llu records, p50 %.1f us, p95 %.1f us, max %.1f us\n",
+                  static_cast<unsigned long long>(h->count), 1e6 * h->quantile(0.50),
+                  1e6 * h->quantile(0.95), 1e6 * h->max);
+    }
+  }
+
+  // --- 2. Resume latency ------------------------------------------------
+  // The journal now holds every point; each rep must replay it without
+  // simulating anything.
+  obs::MetricsRegistry::global().reset();
+  std::vector<double> resume_wall_s;
+  resume_wall_s.reserve(static_cast<std::size_t>(resumes));
+  for (int r = 0; r < resumes; ++r) {
+    core::CampaignOptions ropt;
+    ropt.resume_path = journal;
+    const auto t0 = Clock::now();
+    core::Campaign campaign(cfg, sweep, ropt);
+    const core::CampaignResult result = campaign.run();
+    resume_wall_s.push_back(secondsSince(t0));
+    if (!result.status.ok() || result.points_executed != 0 ||
+        result.points_resumed != points) {
+      std::fprintf(stderr,
+                   "RESUME VIOLATION: rep %d executed %d / resumed %d of %d points (%s)\n", r,
+                   result.points_executed, result.points_resumed, points,
+                   result.status.toString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\nresume (%d points, %d reps): p50 %.2f ms, p95 %.2f ms end-to-end\n", points,
+              resumes, 1e3 * sampleQuantile(resume_wall_s, 0.50),
+              1e3 * sampleQuantile(resume_wall_s, 0.95));
+  {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    if (const obs::HistogramValue* h = snap.findHistogram("campaign.resume_load_wall_s")) {
+      std::printf("journal load: p50 %.2f ms, p95 %.2f ms\n", 1e3 * h->quantile(0.50),
+                  1e3 * h->quantile(0.95));
+    }
+  }
+
+  std::remove(journal.c_str());
+  return 0;
+}

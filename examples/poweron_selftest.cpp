@@ -7,6 +7,11 @@
 //           for diagnosis-grade fn/zeta/f3dB extraction.
 //
 // Run on a healthy device and on one with a damping defect.
+//
+// SIGINT/SIGTERM abort the self-test cooperatively between devices and
+// between tiers; the process exits with code 130
+// (exitCode(Status::Kind::Cancelled)). Exit codes: 0 = all devices
+// tested, 130 = interrupted.
 
 #include <cmath>
 #include <cstdio>
@@ -14,6 +19,8 @@
 #include "bist/analysis.hpp"
 #include "bist/controller.hpp"
 #include "bist/step_test.hpp"
+#include "common/status.hpp"
+#include "common/stop_token.hpp"
 #include "common/units.hpp"
 #include "core/measurement.hpp"
 #include "pll/config.hpp"
@@ -55,6 +62,10 @@ void runSelfTest(const char* name, const pll::PllConfig& cfg, const SelfTestPoli
     return;
   }
   std::printf("tier 1 verdict: MARGINAL -> running tier 2 sweep for diagnosis\n");
+  if (globalStopSource().stopRequested()) {
+    std::printf("tier 2 skipped: stop requested\n\n");
+    return;
+  }
 
   // Tier 2 runs through the resilient engine: on a sick device a point may
   // need retries or fail outright, and a boot-time self-test must report
@@ -82,15 +93,24 @@ void runSelfTest(const char* name, const pll::PllConfig& cfg, const SelfTestPoli
 }  // namespace
 
 int main() {
+  installStopSignalHandlers();
   const SelfTestPolicy policy;
-  runSelfTest("healthy device", pll::scaledTestConfig(200.0, 0.43), policy);
-  runSelfTest("damping defect (R2 x3)",
-              pll::applyFault(pll::scaledTestConfig(200.0, 0.43),
-                              {pll::FaultSpec::Kind::FilterR2Drift, 3.0}),
-              policy);
-  runSelfTest("divider defect (N = 11)",
-              pll::applyFault(pll::scaledTestConfig(200.0, 0.43),
-                              {pll::FaultSpec::Kind::DividerWrongN, 11.0}),
-              policy);
+  struct Device {
+    const char* name;
+    pll::FaultSpec fault;
+  };
+  const Device devices[] = {
+      {"healthy device", {pll::FaultSpec::Kind::None, 0.0}},
+      {"damping defect (R2 x3)", {pll::FaultSpec::Kind::FilterR2Drift, 3.0}},
+      {"divider defect (N = 11)", {pll::FaultSpec::Kind::DividerWrongN, 11.0}},
+  };
+  for (const Device& d : devices) {
+    if (globalStopSource().stopRequested()) {
+      std::printf("self-test interrupted: remaining devices skipped.\n");
+      return exitCode(Status::Kind::Cancelled);
+    }
+    runSelfTest(d.name, pll::applyFault(pll::scaledTestConfig(200.0, 0.43), d.fault), policy);
+  }
+  if (globalStopSource().stopRequested()) return exitCode(Status::Kind::Cancelled);
   return 0;
 }

@@ -14,6 +14,12 @@
 // --report writes a lot-level JSON report: one verdict row per DUT plus
 // the full telemetry snapshot (kernel event counters, per-point latency
 // histogram) accumulated across every screen in the lot.
+//
+// SIGINT/SIGTERM stop the lot cooperatively: the in-flight DUT screens
+// drain, unscreened DUTs are reported as skipped, and the process exits
+// with code 130 (exitCode(Status::Kind::Cancelled)). A second signal
+// force-kills. Exit codes: 0 = lot screened, 2 = bad usage,
+// 130 = interrupted.
 
 #include <atomic>
 #include <cstdio>
@@ -24,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.hpp"
+#include "common/stop_token.hpp"
 #include "core/testplan.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +42,7 @@
 int main(int argc, char** argv) {
   using namespace pllbist;
 
+  installStopSignalHandlers();
   int jobs = 1;
   std::string report_path;
   for (int i = 1; i < argc; ++i) {
@@ -86,10 +95,17 @@ int main(int argc, char** argv) {
   if (jobs == 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
   if (jobs < 1) jobs = 1;
   if (jobs > static_cast<int>(lot_size)) jobs = static_cast<int>(lot_size);
+  std::vector<char> screened(lot_size, 0);
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < lot_size; i = next.fetch_add(1))
+    // Stop is checked before each claim: Ctrl-C lets in-flight screens
+    // drain but leaves the rest of the lot unscreened (reported below).
+    while (!globalStopSource().stopRequested()) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= lot_size) return;
       results[i] = plan.screen(pll::applyFault(golden, lot[i].fault));
+      screened[i] = 1;
+    }
   };
   if (jobs <= 1) {
     worker();
@@ -100,9 +116,15 @@ int main(int argc, char** argv) {
     std::printf("screened %zu DUTs on %d worker threads\n\n", lot_size, jobs);
   }
 
+  const bool stopped = globalStopSource().stopRequested();
   std::printf("%-28s %9s %8s %9s  %s\n", "device", "fn (Hz)", "zeta", "verdict", "reason");
-  int passed = 0, failed = 0;
+  int passed = 0, failed = 0, skipped = 0;
   for (std::size_t i = 0; i < lot_size; ++i) {
+    if (!screened[i]) {
+      ++skipped;
+      std::printf("%-28s %9s %8s %9s  %s\n", lot[i].name, "-", "-", "SKIPPED", "stop requested");
+      continue;
+    }
     const core::TestPlan::DutResult& r = results[i];
     (r.verdict.pass ? passed : failed)++;
     std::printf("%-28s %9.1f %8.3f %9s  %s\n", lot[i].name,
@@ -110,7 +132,11 @@ int main(int argc, char** argv) {
                 r.verdict.pass ? "PASS" : "FAIL",
                 r.verdict.failures.empty() ? "-" : r.verdict.failures.front().c_str());
   }
-  std::printf("\nlot summary: %d passed, %d failed\n", passed, failed);
+  if (skipped > 0)
+    std::printf("\nlot summary: %d passed, %d failed, %d skipped (interrupted)\n", passed, failed,
+                skipped);
+  else
+    std::printf("\nlot summary: %d passed, %d failed\n", passed, failed);
 
   if (!report_path.empty()) {
     std::ofstream out(report_path);
@@ -124,18 +150,23 @@ int main(int argc, char** argv) {
       const core::TestPlan::DutResult& r = results[i];
       w.beginObject();
       w.key("name").value(lot[i].name);
-      w.key("fn_hz").value(r.parameters.natural_frequency_hz.value_or(0.0));
-      w.key("zeta").value(r.parameters.zeta.value_or(0.0));
-      w.key("pass").value(r.verdict.pass);
-      w.key("failures").beginArray();
-      for (const std::string& f : r.verdict.failures) w.value(f);
-      w.endArray();
+      if (screened[i]) {
+        w.key("fn_hz").value(r.parameters.natural_frequency_hz.value_or(0.0));
+        w.key("zeta").value(r.parameters.zeta.value_or(0.0));
+        w.key("pass").value(r.verdict.pass);
+        w.key("failures").beginArray();
+        for (const std::string& f : r.verdict.failures) w.value(f);
+        w.endArray();
+      } else {
+        w.key("skipped").value(true);
+      }
       w.endObject();
     }
     w.endArray();
     w.key("summary").beginObject();
     w.key("passed").value(passed);
     w.key("failed").value(failed);
+    w.key("skipped").value(skipped);
     w.endObject();
     w.key("metrics");
     obs::writeMetricsJson(w, obs::MetricsRegistry::global().snapshot());
@@ -144,6 +175,10 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (lot report, %zu DUTs)\n", report_path.c_str(), lot_size);
   }
 
+  if (stopped) {
+    std::printf("lot interrupted: %d of %zu DUTs not screened.\n", skipped, lot_size);
+    return exitCode(Status::Kind::Cancelled);
+  }
   std::printf("expected: DUT-01 and DUT-07 pass (the -5%% corner sits inside the 20%% band),\n"
               "all genuinely defective devices fail.\n");
   return 0;

@@ -4,12 +4,16 @@
 //   sweep_cli [--device reference|fast|current] [--stimulus multi|two|sine|pm]
 //             [--points N] [--jobs N] [--fault kind:magnitude] [--step] [--csv file]
 //             [--report out.json] [--trace out.trace.json]
+//             [--journal j.jsonl] [--resume j.jsonl] [--deadline S]
+//             [--point-budget S] [--breaker K]
 //
 // Examples:
 //   sweep_cli --device fast --stimulus multi --points 10
 //   sweep_cli --device fast --fault filter-c-drift:0.5 --csv out.csv
 //   sweep_cli --device reference --points 12 --jobs 4
 //   sweep_cli --device fast --jobs 4 --report r.json --trace t.trace.json
+//   sweep_cli --device fast --points 12 --journal run.jsonl --report r.json
+//   sweep_cli --device fast --points 12 --journal run.jsonl --resume run.jsonl --report r.json
 //   sweep_cli --device current --step
 //
 // --jobs N runs the sweep on the parallel point farm (one independent
@@ -21,10 +25,25 @@
 // --trace enables the span tracer and writes a Chrome trace_event file —
 // open it in Perfetto (https://ui.perfetto.dev) or chrome://tracing for a
 // flame view of the sweep.
+//
+// Any of --journal/--resume/--deadline/--point-budget/--breaker selects the
+// supervised campaign runtime (core::Campaign): a crash-tolerant execution
+// with a durable checkpoint journal, digest-verified resume, wall-clock
+// budgets and a relock circuit breaker. A killed campaign resumed with
+// `--journal j --resume j` re-runs only the missing points and produces a
+// report byte-identical (modulo timing fields) to an uninterrupted run.
+//
+// SIGINT/SIGTERM request a cooperative stop: the run drains, flushes the
+// journal, emits the partial report, and exits 130. The process exit code
+// maps the final pllbist::Status (see README "Exit codes"): 0 ok,
+// 2 invalid-argument, 3 timeout, 4 lock-lost, 5 relock-failed,
+// 6 retry-exhausted, 7 simulation-stall, 8 no-valid-points, 9 degraded,
+// 10 internal, 11 deadline-exceeded, 130 cancelled.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/pllbist.hpp"
@@ -38,6 +57,8 @@ using namespace pllbist;
                "usage: %s [--device reference|fast|current] [--stimulus multi|two|sine|pm]\n"
                "          [--points N] [--jobs N] [--fault kind:magnitude] [--step] [--csv file]\n"
                "          [--report out.json] [--trace out.trace.json]\n"
+               "          [--journal j.jsonl] [--resume j.jsonl] [--deadline seconds]\n"
+               "          [--point-budget seconds] [--breaker K]\n"
                "fault kinds: vco-gain-drift vco-center-drift pump-up-weak pump-down-weak\n"
                "             filter-r2-drift filter-c-drift filter-leak pfd-dead-zone\n"
                "             divider-wrong-n\n",
@@ -68,9 +89,16 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string trace_path;
   std::string fault_text;
+  std::string journal_path;
+  std::string resume_path;
+  double deadline_s = 0.0;
+  double point_budget_s = 0.0;
+  int breaker = 0;
   int points = 10;
   int jobs = -1;  // -1 = serial shared-bench sweep; >= 0 = parallel point farm
   bool step_mode = false;
+
+  installStopSignalHandlers();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +120,20 @@ int main(int argc, char** argv) {
     else if (arg == "--report") report_path = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--fault") fault_text = next();
+    else if (arg == "--journal") journal_path = next();
+    else if (arg == "--resume") resume_path = next();
+    else if (arg == "--deadline") {
+      deadline_s = std::stod(next());
+      if (deadline_s <= 0.0) usage(argv[0]);
+    }
+    else if (arg == "--point-budget") {
+      point_budget_s = std::stod(next());
+      if (point_budget_s <= 0.0) usage(argv[0]);
+    }
+    else if (arg == "--breaker") {
+      breaker = std::stoi(next());
+      if (breaker < 1) usage(argv[0]);
+    }
     else if (arg == "--step") step_mode = true;
     else usage(argv[0]);
   }
@@ -127,7 +169,7 @@ int main(int argc, char** argv) {
     if (r.zeta) std::printf("extracted zeta %.3f", *r.zeta);
     if (r.natural_frequency_hz) std::printf(", fn %.1f Hz", *r.natural_frequency_hz);
     std::printf("\n");
-    return r.timed_out ? 1 : 0;
+    return r.timed_out ? exitCode(Status::Kind::Timeout) : 0;
   }
 
   bist::StimulusKind kind;
@@ -147,11 +189,43 @@ int main(int argc, char** argv) {
   // genuinely broken preset) drops points instead of hanging or throwing.
   // With --jobs the same sweep runs on the parallel point farm instead.
   const bist::SweepOptions sweep_opt = bist::quickSweepOptions(cfg, kind, points);
+  const bool campaign_mode = !journal_path.empty() || !resume_path.empty() || deadline_s > 0.0 ||
+                             point_budget_s > 0.0 || breaker > 0;
   bist::ResilientResponse result;
-  if (jobs >= 0) {
+  std::optional<obs::RunReport> campaign_report;
+  if (campaign_mode) {
+    core::CampaignOptions copt;
+    copt.jobs = jobs >= 0 ? jobs : 1;
+    copt.resilience.point_budget_s = point_budget_s;
+    copt.deadline_s = deadline_s;
+    copt.relock_breaker = breaker;
+    copt.journal_path = journal_path;
+    copt.resume_path = resume_path;
+    copt.tool = "sweep_cli";
+    copt.device = device;
+    core::Campaign campaign(cfg, sweep_opt, copt);
+    campaign.chainStop(&globalStopSource());
+    campaign.onPointMeasured([](std::size_t index, const bist::MeasuredPoint& p) {
+      std::printf("  [%2zu] fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", index,
+                  p.modulation_hz, p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
+    });
+    core::CampaignResult cres = campaign.run();
+    if (cres.status.kind() == Status::Kind::InvalidArgument) {
+      std::fprintf(stderr, "campaign rejected: %s\n", cres.status.toString().c_str());
+      return exitCode(cres.status);
+    }
+    std::printf("campaign: %d executed, %d resumed%s%s%s%s\n", cres.points_executed,
+                cres.points_resumed, cres.torn_tail_repaired ? ", torn journal tail repaired" : "",
+                cres.deadline_hit ? ", deadline hit" : "",
+                cres.breaker_opened ? ", relock breaker open" : "",
+                cres.stop_requested && !cres.deadline_hit ? ", stopped" : "");
+    result = std::move(cres.merged);
+    campaign_report = std::move(cres.report);
+  } else if (jobs >= 0) {
     bist::ParallelSweepOptions popt;
     popt.jobs = jobs;
     bist::ParallelSweep engine(cfg, sweep_opt, popt);
+    engine.chainStop(&globalStopSource());
     engine.onPointMeasured([](std::size_t index, const bist::MeasuredPoint& p) {
       std::printf("  [%2zu] fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", index,
                   p.modulation_hz, p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
@@ -161,6 +235,7 @@ int main(int argc, char** argv) {
                 result.report.sim_time_s, result.report.wall_time_s);
   } else {
     bist::ResilientSweep engine(cfg, sweep_opt);
+    engine.attachStop(&globalStopSource());
     engine.onPointMeasured([](const bist::MeasuredPoint& p) {
       std::printf("  fm %8.3f Hz  deviation %9.2f Hz  phase %8.2f deg  [%s]\n", p.modulation_hz,
                   p.deviation_hz, p.phase_deg, bist::to_string(p.quality));
@@ -174,8 +249,12 @@ int main(int argc, char** argv) {
   // Export telemetry before the pass/fail verdict so a failed sweep still
   // leaves its report and trace behind for diagnosis.
   if (!report_path.empty()) {
+    // Campaign reports come from the deterministic campaign builder (so a
+    // resumed run's report matches an uninterrupted one); engine runs keep
+    // the registry-backed builder.
     const obs::RunReport report =
-        core::buildRunReport("sweep_cli", device, cfg, sweep_opt, jobs, result);
+        campaign_report ? *campaign_report
+                        : core::buildRunReport("sweep_cli", device, cfg, sweep_opt, jobs, result);
     std::ofstream out(report_path);
     report.writeJson(out);
     std::printf("wrote %s (RunReport %s, digest 0x%016llx)\n", report_path.c_str(),
@@ -191,7 +270,7 @@ int main(int argc, char** argv) {
   if (!result.status.ok() || result.report.usable() == 0) {
     std::printf("sweep failed: %s\n",
                 result.status.ok() ? "no usable points" : result.status.toString().c_str());
-    return 1;
+    return exitCode(result.status.ok() ? Status::Kind::NoValidPoints : result.status.kind());
   }
   const control::BodeResponse bode = measured.toBode();
   const bist::ExtractedParameters p = bist::extractParameters(bode);

@@ -63,10 +63,15 @@ ResilientResponse ParallelSweep::run() {
   auto worker = [&] {
     obs::ScopedSpan worker_span("farm.worker");
     for (;;) {
+      // Claim-then-check would tally a claimed-but-never-run point as an
+      // engine failure; checking first keeps "never claimed" and "claimed
+      // and cancelled in flight" the two only post-stop outcomes.
+      if (stop_.stopRequested()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         ResilientSweep engine(config_, singlePointOptions(sweep_, i), options_.resilience);
+        engine.attachStop(&stop_);
         if (on_point_testbench_)
           engine.onTestbench([this, i](SweepTestbench& bench) { on_point_testbench_(i, bench); });
         per_point[i] = engine.run();
@@ -101,6 +106,8 @@ ResilientResponse ParallelSweep::run() {
     for (std::thread& t : pool) t.join();
   }
 
+  const bool stopped = stop_.stopRequested();
+
   // Deterministic merge, strictly in point-index order regardless of which
   // worker finished when.
   ResilientResponse out;
@@ -110,20 +117,30 @@ ResilientResponse ParallelSweep::run() {
       out.response.nominal_vco_hz = r.response.nominal_vco_hz;
       out.response.static_reference_deviation_hz = r.response.static_reference_deviation_hz;
     }
+    out.bench.add(r.bench);
+    out.breaker_open = out.breaker_open || r.breaker_open;
     if (r.response.points.empty()) {
-      // The engine died before producing its point (stall during the
-      // nominal/DC prelude, or a thrown exception): synthesise a Dropped
-      // point carrying the fatal status so the merged sweep stays fully
-      // labelled, one entry per requested frequency.
+      // The engine never produced its point: a stall during the nominal/DC
+      // prelude, a thrown exception, or — after a stop — a point no worker
+      // ever claimed. Synthesise a Dropped point carrying the reason so
+      // the merged sweep stays fully labelled, one entry per requested
+      // frequency.
       MeasuredPoint p;
       p.modulation_hz = freqs[i];
       p.timed_out = true;
       p.quality = PointQuality::Dropped;
       p.attempts = 0;
-      p.status = r.status.ok()
-                     ? Status::makef(Status::Kind::Internal,
-                                     "point %zu (fm = %g Hz): engine produced no point", i, freqs[i])
-                     : r.status;
+      if (!r.status.ok()) {
+        p.status = r.status;
+      } else if (stopped) {
+        p.status = Status::makef(Status::Kind::Cancelled,
+                                 "point %zu (fm = %g Hz): stop requested before a worker claimed "
+                                 "the point",
+                                 i, freqs[i]);
+      } else {
+        p.status = Status::makef(Status::Kind::Internal,
+                                 "point %zu (fm = %g Hz): engine produced no point", i, freqs[i]);
+      }
       TestSequencer::PointResult raw;
       raw.modulation_hz = freqs[i];
       raw.timed_out = true;
@@ -149,6 +166,9 @@ ResilientResponse ParallelSweep::run() {
     out.report.sim_time_s += r.report.sim_time_s;
     if (out.status.ok() && !r.status.ok()) out.status = r.status;
   }
+  if (stopped && out.status.ok())
+    out.status = Status::makef(Status::Kind::Cancelled,
+                               "stop requested; %d of %zu points measured", out.report.usable(), n);
   out.report.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return out;

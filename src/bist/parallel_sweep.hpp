@@ -78,6 +78,17 @@ class ParallelSweep {
     progress_ = std::move(cb);
   }
 
+  /// Cooperative stop, callable from any thread (including a progress
+  /// callback or a signal-handling path via chainStop). Workers abandon
+  /// their in-flight point at the next poll, claim nothing further, and
+  /// join; never-claimed points merge as Dropped/Cancelled so the quality
+  /// report still accounts for every requested frequency exactly once.
+  void requestStop() { stop_.requestStop(); }
+
+  /// Also honour `upstream` (e.g. the process-global signal token). Call
+  /// before run().
+  void chainStop(const StopSource* upstream) { stop_.chainTo(upstream); }
+
   /// Run the sweep. May be called once per instance.
   ResilientResponse run();
 
@@ -87,6 +98,7 @@ class ParallelSweep {
   ParallelSweepOptions options_;
   std::function<void(std::size_t, SweepTestbench&)> on_point_testbench_;
   std::function<void(std::size_t, const MeasuredPoint&)> progress_;
+  StopSource stop_;
   bool used_ = false;
 };
 

@@ -12,6 +12,8 @@
 #include "common/units.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/circuit.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace pllbist::bist {
 
@@ -45,6 +47,14 @@ Status ResilientSweepOptions::check() const {
   if (lock_cycles < 1)
     return Status::makef(K::InvalidArgument, "ResilientSweepOptions: lock_cycles = %d, must be "
                          ">= 1", lock_cycles);
+  if (point_budget_s < 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: point_budget_s = %g, must be >= 0 (0 = unlimited)",
+                         point_budget_s);
+  if (relock_breaker < 0)
+    return Status::makef(K::InvalidArgument,
+                         "ResilientSweepOptions: relock_breaker = %d, must be >= 0 (0 = disabled)",
+                         relock_breaker);
   return Status();
 }
 
@@ -104,48 +114,141 @@ ResilientResponse ResilientSweep::run() {
 
   ResilientResponse out;
   // stamp runs exactly once per exit path, so it also re-homes the bench's
-  // kernel/fault counters onto the metrics registry exactly once.
+  // kernel/fault counters onto the metrics registry exactly once. It also
+  // captures the same counters into out.bench, the per-engine (and thus
+  // deterministic) view the campaign journal records per point.
   auto stamp = [&] {
     out.report.sim_time_s = c.now();
     out.report.wall_time_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    out.bench.events_processed = c.processedEventCount();
+    out.bench.events_delivered = c.deliveredEventCount();
+    out.bench.events_dropped = c.droppedEventCount();
+    out.bench.events_delayed = c.delayedEventCount();
+    out.bench.events_swallowed = c.swallowedEventCount();
+    if (const sim::FaultInjector* injector = bench.installedFaultInjector()) {
+      const sim::FaultInjector::Stats& s = injector->stats();
+      out.bench.fault_benches = 1;
+      out.bench.faults_considered = s.considered;
+      out.bench.faults_dropped = s.dropped;
+      out.bench.faults_delayed = s.delayed;
+      out.bench.faults_glitches = s.glitches;
+    }
     publishBenchCounters(bench);
   };
-  // Step until `flag`, a deadline, or a dry queue.
-  enum class StepOutcome { Done, Deadline, Stall };
+
+  // Cooperative interruption: the stop token and the per-point wall budget
+  // are polled every kInterruptStride kernel steps (and between sim-time
+  // slices of the blocking waits), so a stop or an expired budget takes
+  // effect within a bounded number of events — never at the mercy of a
+  // wedged loop.
+  enum class StepOutcome { Done, Deadline, Stall, Stopped, OverBudget };
+  constexpr int kInterruptStride = 2048;
+  constexpr auto kNoWallDeadline = std::chrono::steady_clock::time_point::max();
+  std::chrono::steady_clock::time_point point_wall_deadline = kNoWallDeadline;
+  auto interrupted = [&]() -> StepOutcome {
+    if (stop_ != nullptr && stop_->stopRequested()) return StepOutcome::Stopped;
+    if (point_wall_deadline != kNoWallDeadline &&
+        std::chrono::steady_clock::now() >= point_wall_deadline)
+      return StepOutcome::OverBudget;
+    return StepOutcome::Done;
+  };
+  // Step until `flag`, a sim deadline, an interruption, or a dry queue.
   auto stepUntil = [&](const bool& flag, double deadline_s) {
+    int countdown = kInterruptStride;
     while (!flag) {
       if (c.now() >= deadline_s) return StepOutcome::Deadline;
+      if (--countdown <= 0) {
+        countdown = kInterruptStride;
+        if (const StepOutcome o = interrupted(); o != StepOutcome::Done) return o;
+      }
       if (!c.step()) return StepOutcome::Stall;
     }
     return StepOutcome::Done;
   };
   auto stepUntilLocked = [&](double deadline_s) {
+    int countdown = kInterruptStride;
     while (!lock.isLocked()) {
       if (c.now() >= deadline_s) return StepOutcome::Deadline;
+      if (--countdown <= 0) {
+        countdown = kInterruptStride;
+        if (const StepOutcome o = interrupted(); o != StepOutcome::Done) return o;
+      }
       if (!c.step()) return StepOutcome::Stall;
+    }
+    return StepOutcome::Done;
+  };
+  // Stop-aware replacement for c.run(t_end): advance in bounded sim-time
+  // slices so an interruption takes effect mid-wait, not at its end.
+  auto advanceTo = [&](double t_end) {
+    const double slice = std::max((t_end - c.now()) / 64.0, 1e-12);
+    while (c.now() < t_end) {
+      if (const StepOutcome o = interrupted(); o != StepOutcome::Done) return o;
+      c.run(std::min(c.now() + slice, t_end));
     }
     return StepOutcome::Done;
   };
   constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
+  const std::vector<double>& freqs = sweep_.modulation_frequencies_hz;
+  // Record an unattempted point (stop or open breaker): Dropped, zero
+  // attempts, the given status. Keeps points_total == requested count on
+  // every exit path, so partial results are never silently truncated.
+  auto skipPoint = [&](std::size_t i, Status status) {
+    MeasuredPoint p;
+    p.modulation_hz = freqs[i];
+    p.timed_out = true;
+    p.quality = PointQuality::Dropped;
+    p.attempts = 0;
+    p.status = std::move(status);
+    TestSequencer::PointResult raw;
+    raw.modulation_hz = freqs[i];
+    raw.timed_out = true;
+    raw.status = p.status;
+    ++out.report.points_total;
+    ++out.report.dropped;
+    telemetry().points_dropped.increment();
+    out.response.points.push_back(std::move(p));
+    out.response.raw.push_back(std::move(raw));
+    if (progress_) progress_(out.response.points.back());
+  };
+  auto cancelAllFrom = [&](std::size_t first, const char* where) {
+    for (std::size_t i = first; i < freqs.size(); ++i)
+      skipPoint(i, Status::makef(Status::Kind::Cancelled,
+                                 "point %zu (fm = %g Hz): stop requested %s", i, freqs[i], where));
+    if (out.status.ok())
+      out.status = Status::makef(Status::Kind::Cancelled,
+                                 "stop requested at t = %g s; %zu of %zu points completed", c.now(),
+                                 first, freqs.size());
+  };
+
   // Initial acquisition, nominal carrier, and the eqn (7) DC reference.
   // These are fatal if they stall (nothing downstream is measurable), but a
   // dead loop merely yields a meaningless nominal — the per-point machinery
   // below still runs and labels every point.
-  c.run(sweep_.lock_wait_s);
+  if (advanceTo(sweep_.lock_wait_s) == StepOutcome::Stopped) {
+    cancelAllFrom(0, "during the initial lock wait");
+    stamp();
+    return out;
+  }
 
   bool nominal_done = false;
   seq.measureNominal([&](double hz) {
     out.response.nominal_vco_hz = hz;
     nominal_done = true;
   });
-  if (stepUntil(nominal_done, kNoDeadline) == StepOutcome::Stall) {
-    out.status = Status::makef(Status::Kind::SimulationStall,
-                               "event queue ran dry at t = %g s during the nominal count", c.now());
-    telemetry().stalls.increment();
-    stamp();
-    return out;
+  switch (stepUntil(nominal_done, kNoDeadline)) {
+    case StepOutcome::Stall:
+      out.status = Status::makef(Status::Kind::SimulationStall,
+                                 "event queue ran dry at t = %g s during the nominal count", c.now());
+      telemetry().stalls.increment();
+      stamp();
+      return out;
+    case StepOutcome::Stopped:
+      cancelAllFrom(0, "during the nominal count");
+      stamp();
+      return out;
+    default: break;
   }
 
   if (sweep_.stimulus != StimulusKind::DelayLinePm) {
@@ -154,22 +257,49 @@ ResilientResponse ResilientSweep::run() {
       out.response.static_reference_deviation_hz = hz - out.response.nominal_vco_hz;
       ref_done = true;
     });
-    if (stepUntil(ref_done, kNoDeadline) == StepOutcome::Stall) {
-      out.status = Status::makef(Status::Kind::SimulationStall,
-                                 "event queue ran dry at t = %g s during the DC reference", c.now());
-      telemetry().stalls.increment();
-      stamp();
-      return out;
+    switch (stepUntil(ref_done, kNoDeadline)) {
+      case StepOutcome::Stall:
+        out.status =
+            Status::makef(Status::Kind::SimulationStall,
+                          "event queue ran dry at t = %g s during the DC reference", c.now());
+        telemetry().stalls.increment();
+        stamp();
+        return out;
+      case StepOutcome::Stopped:
+        cancelAllFrom(0, "during the DC reference");
+        stamp();
+        return out;
+      default: break;
     }
   }
 
   const TestSequencer::Options base = seq.options();
   const double relock_wait_s = resilience_.relock_wait_periods / fn_hz;
+  int consecutive_relock_failures = 0;
+  bool breaker_tripped = false;
+  bool cancelled = false;
 
-  for (std::size_t i = 0; i < sweep_.modulation_frequencies_hz.size(); ++i) {
-    const double fm = sweep_.modulation_frequencies_hz[i];
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double fm = freqs[i];
+    if (!cancelled && stop_ != nullptr && stop_->stopRequested()) cancelled = true;
+    if (cancelled) {
+      skipPoint(i, Status::makef(Status::Kind::Cancelled,
+                                 "point %zu (fm = %g Hz): stop requested before measurement", i, fm));
+      continue;
+    }
+    if (breaker_tripped) {
+      skipPoint(i, Status::makef(Status::Kind::RelockFailed,
+                                 "point %zu (fm = %g Hz): relock circuit breaker open after %d "
+                                 "consecutive relock failures; point not attempted",
+                                 i, fm, consecutive_relock_failures));
+      continue;
+    }
     obs::ScopedSpan point_span("point.measure");
     const auto point_start = std::chrono::steady_clock::now();
+    if (resilience_.point_budget_s > 0.0)
+      point_wall_deadline =
+          point_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(resilience_.point_budget_s));
     MeasuredPoint p;
     p.modulation_hz = fm;
     TestSequencer::PointResult last;
@@ -177,6 +307,8 @@ ResilientResponse ResilientSweep::run() {
     bool relocked = false;
     bool relock_failed = false;
     bool fatal_stall = false;
+    bool point_cancelled = false;
+    bool over_budget = false;
     int attempts_used = 0;
 
     for (int attempt = 0; attempt < resilience_.max_attempts; ++attempt) {
@@ -193,12 +325,21 @@ ResilientResponse ResilientSweep::run() {
         last = std::move(r);
         done = true;
       });
-      if (stepUntil(done, kNoDeadline) == StepOutcome::Stall) {
+      const StepOutcome measure = stepUntil(done, kNoDeadline);
+      if (measure == StepOutcome::Stall) {
         last.timed_out = true;
         last.status = Status::makef(Status::Kind::SimulationStall,
                                     "event queue ran dry at t = %g s measuring fm = %g Hz", c.now(),
                                     fm);
         fatal_stall = true;
+        break;
+      }
+      if (measure == StepOutcome::Stopped) {
+        point_cancelled = true;
+        break;
+      }
+      if (measure == StepOutcome::OverBudget) {
+        over_budget = true;
         break;
       }
       if (!last.timed_out) {
@@ -218,11 +359,27 @@ ResilientResponse ResilientSweep::run() {
         fatal_stall = true;
         break;
       }
+      if (grace == StepOutcome::Stopped) {
+        point_cancelled = true;
+        break;
+      }
+      if (grace == StepOutcome::OverBudget) {
+        over_budget = true;
+        break;
+      }
       if (grace == StepOutcome::Deadline) {
         // Declared lock loss: bounded relock-and-resume.
         const StepOutcome relock = stepUntilLocked(c.now() + relock_wait_s);
         if (relock == StepOutcome::Stall) {
           fatal_stall = true;
+          break;
+        }
+        if (relock == StepOutcome::Stopped) {
+          point_cancelled = true;
+          break;
+        }
+        if (relock == StepOutcome::OverBudget) {
+          over_budget = true;
           break;
         }
         if (relock == StepOutcome::Done) {
@@ -239,9 +396,11 @@ ResilientResponse ResilientSweep::run() {
         }
       }
     }
+    point_wall_deadline = kNoWallDeadline;
 
     p.attempts = attempts_used;
     if (measured) {
+      consecutive_relock_failures = 0;
       p.deviation_hz = last.held_frequency_hz - out.response.nominal_vco_hz;
       p.phase_deg = last.phase_deg;
       p.timed_out = false;
@@ -267,7 +426,24 @@ ResilientResponse ResilientSweep::run() {
       p.quality = PointQuality::Dropped;
       ++out.report.dropped;
       telemetry().points_dropped.increment();
-      if (relock_failed) {
+      if (point_cancelled) {
+        cancelled = true;
+        p.status = Status::makef(Status::Kind::Cancelled,
+                                 "point %zu (fm = %g Hz): stop requested at t = %g s "
+                                 "mid-measurement (attempt %d abandoned)",
+                                 i, fm, c.now(), attempts_used);
+      } else if (over_budget) {
+        consecutive_relock_failures = 0;
+        p.status = Status::makef(Status::Kind::DeadlineExceeded,
+                                 "point %zu (fm = %g Hz): wall budget %g s exceeded on attempt %d",
+                                 i, fm, resilience_.point_budget_s, attempts_used);
+      } else if (relock_failed) {
+        ++consecutive_relock_failures;
+        if (resilience_.relock_breaker > 0 &&
+            consecutive_relock_failures >= resilience_.relock_breaker) {
+          breaker_tripped = true;
+          out.breaker_open = true;
+        }
         p.status = Status::makef(
             Status::Kind::RelockFailed,
             "point %zu (fm = %g Hz): loop failed to re-lock within %g s after a failed attempt; "
@@ -276,6 +452,7 @@ ResilientResponse ResilientSweep::run() {
       } else if (fatal_stall) {
         p.status = last.status;
       } else {
+        consecutive_relock_failures = 0;
         p.status = Status::makef(Status::Kind::RetryExhausted,
                                  "point %zu (fm = %g Hz): all %d attempts failed; last failure: %s",
                                  i, fm, attempts_used, last.status.toString().c_str());
@@ -296,6 +473,10 @@ ResilientResponse ResilientSweep::run() {
     }
   }
 
+  if (cancelled && out.status.ok())
+    out.status =
+        Status::makef(Status::Kind::Cancelled, "stop requested at t = %g s; %d of %zu points "
+                      "measured", c.now(), out.report.usable(), freqs.size());
   stamp();
   return out;
 }

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "bist/controller.hpp"
 #include "common/status.hpp"
+#include "common/stop_token.hpp"
 #include "pll/config.hpp"
 
 namespace pllbist::bist {
@@ -39,6 +41,18 @@ struct ResilientSweepOptions {
   double lock_threshold_s = 0.0;
   /// Consecutive quiet PFD cycles required to assert lock.
   int lock_cycles = 8;
+  /// Host wall-clock budget per point, all attempts and relock waits
+  /// included; 0 disables. An over-budget point is Dropped with
+  /// DeadlineExceeded and the sweep moves on — never a hang. Wall-clock
+  /// based, so it trades the bit-identical determinism contract for a
+  /// bounded run; leave at 0 where reports must be reproducible.
+  double point_budget_s = 0.0;
+  /// Relock circuit breaker: after this many *consecutive* points dropped
+  /// as relock failures, remaining points are dropped without attempts
+  /// (status RelockFailed, "circuit breaker open"); 0 disables. A device
+  /// that cycle-slips near its hold-in boundary stops burning retry budget
+  /// on every remaining point.
+  int relock_breaker = 0;
 
   /// Structured check; every rejection names the offending field and value.
   [[nodiscard]] Status check() const;
@@ -69,14 +83,49 @@ struct SweepQualityReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Per-engine simulator statistics, read off the bench at the end of
+/// run(): the private circuit's event-kernel counters plus the fault
+/// injector's rule statistics when one was attached. Deterministic for a
+/// fixed configuration and seed set, so the campaign journal records them
+/// per point and a resumed merge reproduces the uninterrupted totals
+/// exactly — without consulting the (history-dependent) global registry.
+struct BenchStats {
+  uint64_t events_processed = 0;
+  uint64_t events_delivered = 0;
+  uint64_t events_dropped = 0;
+  uint64_t events_delayed = 0;
+  uint64_t events_swallowed = 0;
+  uint64_t fault_benches = 0;  ///< benches with a FaultInjector attached
+  uint64_t faults_considered = 0;
+  uint64_t faults_dropped = 0;
+  uint64_t faults_delayed = 0;
+  uint64_t faults_glitches = 0;
+
+  void add(const BenchStats& other) {
+    events_processed += other.events_processed;
+    events_delivered += other.events_delivered;
+    events_dropped += other.events_dropped;
+    events_delayed += other.events_delayed;
+    events_swallowed += other.events_swallowed;
+    fault_benches += other.fault_benches;
+    faults_considered += other.faults_considered;
+    faults_dropped += other.faults_dropped;
+    faults_delayed += other.faults_delayed;
+    faults_glitches += other.faults_glitches;
+  }
+};
+
 /// A MeasuredResponse plus its quality accounting. `status` is only
-/// non-ok for *fatal* conditions that ended the sweep early (the event
-/// queue running dry — SimulationStall); per-point failures are recorded
-/// on the points themselves and leave status ok.
+/// non-ok for conditions that ended the sweep early: the event queue
+/// running dry (SimulationStall) or a cooperative stop (Cancelled);
+/// per-point failures are recorded on the points themselves and leave
+/// status ok.
 struct ResilientResponse {
   MeasuredResponse response;
   SweepQualityReport report;
   Status status;
+  BenchStats bench;          ///< this engine's private kernel/fault counters
+  bool breaker_open = false; ///< the relock circuit breaker tripped
 };
 
 /// The retry/relock/degrade sweep engine. Runs the same Table 2 sequence
@@ -110,6 +159,14 @@ class ResilientSweep {
   /// Fired after each point's final classification.
   void onPointMeasured(std::function<void(const MeasuredPoint&)> cb) { progress_ = std::move(cb); }
 
+  /// Attach a cooperative stop token (must outlive run()). The engine
+  /// polls it at bounded intervals inside every sim loop; once tripped the
+  /// in-flight point and every remaining point are recorded as Dropped
+  /// with Cancelled, the sweep status becomes Cancelled, and run() returns
+  /// a fully-labelled partial response — points_total always equals the
+  /// requested point count.
+  void attachStop(const StopSource* stop) { stop_ = stop; }
+
   /// Run the sweep. May be called once per instance.
   ResilientResponse run();
 
@@ -120,6 +177,7 @@ class ResilientSweep {
   std::function<void(SweepTestbench&)> on_testbench_;
   std::function<void(std::size_t, int, SweepTestbench&)> on_attempt_start_;
   std::function<void(const MeasuredPoint&)> progress_;
+  const StopSource* stop_ = nullptr;
   bool used_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace pllbist {
@@ -32,6 +33,8 @@ class Status {
     NoValidPoints,    ///< a sweep finished but produced no usable points
     Degraded,         ///< completed, but with retried/degraded/dropped points
     Internal,         ///< invariant violation (bug)
+    DeadlineExceeded, ///< a wall-clock budget (point or campaign) expired
+    Cancelled,        ///< cooperative stop requested (signal or requestStop)
   };
 
   Status() = default;  ///< Ok
@@ -91,8 +94,26 @@ class Status {
       case Kind::NoValidPoints: return "no-valid-points";
       case Kind::Degraded: return "degraded";
       case Kind::Internal: return "internal";
+      case Kind::DeadlineExceeded: return "deadline-exceeded";
+      case Kind::Cancelled: return "cancelled";
     }
     return "unknown";
+  }
+
+  /// Reverse of kindName(): parse a kind name back into the enum (the
+  /// checkpoint journal stores kinds by name). False for unknown names.
+  [[nodiscard]] static bool parseKind(std::string_view name, Kind& out) {
+    constexpr Kind kAll[] = {Kind::Ok,           Kind::InvalidArgument, Kind::Timeout,
+                             Kind::LockLost,     Kind::RelockFailed,    Kind::RetryExhausted,
+                             Kind::SimulationStall, Kind::NoValidPoints, Kind::Degraded,
+                             Kind::Internal,     Kind::DeadlineExceeded, Kind::Cancelled};
+    for (Kind k : kAll) {
+      if (name == kindName(k)) {
+        out = k;
+        return true;
+      }
+    }
+    return false;
   }
 
  private:
@@ -101,5 +122,30 @@ class Status {
 };
 
 [[nodiscard]] inline const char* to_string(Status::Kind kind) { return Status::kindName(kind); }
+
+/// Documented process exit code for each Status kind (README "Exit codes").
+/// The mapping is injective: 0 only for Ok, a distinct small nonzero code
+/// per failure class, and 130 (the conventional 128+SIGINT) for Cancelled so
+/// an interrupted campaign looks interrupted to shells and CI harnesses.
+/// InvalidArgument shares code 2 with the CLIs' historical usage() exit.
+[[nodiscard]] inline int exitCode(Status::Kind kind) {
+  switch (kind) {
+    case Status::Kind::Ok: return 0;
+    case Status::Kind::InvalidArgument: return 2;
+    case Status::Kind::Timeout: return 3;
+    case Status::Kind::LockLost: return 4;
+    case Status::Kind::RelockFailed: return 5;
+    case Status::Kind::RetryExhausted: return 6;
+    case Status::Kind::SimulationStall: return 7;
+    case Status::Kind::NoValidPoints: return 8;
+    case Status::Kind::Degraded: return 9;
+    case Status::Kind::Internal: return 10;
+    case Status::Kind::DeadlineExceeded: return 11;
+    case Status::Kind::Cancelled: return 130;
+  }
+  return 10;  // unreachable; treat like Internal
+}
+
+[[nodiscard]] inline int exitCode(const Status& status) { return exitCode(status.kind()); }
 
 }  // namespace pllbist

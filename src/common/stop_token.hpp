@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <csignal>
+
+namespace pllbist {
+
+/// Cooperative cancellation token shared between a requester (signal
+/// handler, deadline supervisor, another thread) and the sweep engines'
+/// hot loops. Engines poll stopRequested() at bounded intervals and drain
+/// to a fully-labelled partial result — a stop is never a hang and never a
+/// torn data structure.
+///
+/// Tokens chain: an engine-local token can point at an upstream one (the
+/// process-global token the signal handlers trip), so one Ctrl-C stops
+/// every engine without the engines sharing mutable state. requestStop()
+/// is a single relaxed-free atomic store, safe from a signal handler.
+class StopSource {
+ public:
+  StopSource() = default;
+  StopSource(const StopSource&) = delete;
+  StopSource& operator=(const StopSource&) = delete;
+
+  void requestStop() noexcept { stop_.store(true, std::memory_order_release); }
+  /// Re-arm (tests only; production tokens are one-shot by convention).
+  void clear() noexcept { stop_.store(false, std::memory_order_release); }
+  /// Also honour `upstream` (may be nullptr to unchain). Not thread-safe
+  /// against concurrent stopRequested(); chain before handing the token out.
+  void chainTo(const StopSource* upstream) noexcept { upstream_ = upstream; }
+
+  [[nodiscard]] bool stopRequested() const noexcept {
+    return stop_.load(std::memory_order_acquire) ||
+           (upstream_ != nullptr && upstream_->stopRequested());
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  const StopSource* upstream_ = nullptr;
+};
+
+/// The process-wide token the SIGINT/SIGTERM handlers trip. CLIs chain
+/// their engines to it; library code never touches it.
+inline StopSource& globalStopSource() {
+  static StopSource source;
+  return source;
+}
+
+/// Install SIGINT/SIGTERM handlers that request a cooperative stop via
+/// globalStopSource(). The first signal drains the run (journal flushed,
+/// partial report emitted, exit code 130); the handler then restores the
+/// default disposition so a second signal force-kills a wedged process.
+inline void installStopSignalHandlers() {
+  // Touch the token now: the handler must not be the first caller, because
+  // a guarded static-local initialisation is not async-signal-safe.
+  (void)globalStopSource();
+  auto handler = [](int sig) {
+    globalStopSource().requestStop();
+    std::signal(sig, SIG_DFL);
+  };
+  std::signal(SIGINT, handler);
+  std::signal(SIGTERM, handler);
+}
+
+}  // namespace pllbist

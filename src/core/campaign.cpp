@@ -1,0 +1,518 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bist/testbench.hpp"
+#include "core/report_builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace pllbist::core {
+
+namespace {
+
+using K = Status::Kind;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Handles into the global registry for the campaign runtime. These feed
+/// live dashboards and the chaos bench; the campaign *report* never reads
+/// them back (it is derived from per-point data so resume stays
+/// deterministic).
+struct CampaignTelemetry {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter points_executed = reg.counter("campaign.points_executed");
+  obs::Counter points_resumed = reg.counter("campaign.points_resumed");
+  obs::Counter journal_records = reg.counter("campaign.journal_records");
+  obs::Counter torn_tails = reg.counter("campaign.torn_tails_repaired");
+  obs::Counter breaker_trips = reg.counter("campaign.breaker_trips");
+  obs::Counter deadline_hits = reg.counter("campaign.deadline_hits");
+  obs::Histogram journal_append_wall =
+      reg.histogram("campaign.journal_append_wall_s", obs::MetricsRegistry::latencyBucketsSeconds());
+  obs::Histogram resume_load_wall =
+      reg.histogram("campaign.resume_load_wall_s", obs::MetricsRegistry::latencyBucketsSeconds());
+};
+
+CampaignTelemetry& telemetry() {
+  static CampaignTelemetry* t = new CampaignTelemetry();  // handles into the leaked registry
+  return *t;
+}
+
+CheckpointRecord makeRecord(std::size_t index, const bist::ResilientResponse& r) {
+  CheckpointRecord rec;
+  rec.index = index;
+  rec.point = r.response.points.front();
+  rec.nominal_vco_hz = r.response.nominal_vco_hz;
+  rec.static_reference_deviation_hz = r.response.static_reference_deviation_hz;
+  rec.relocks = r.report.relocks;
+  rec.relock_failures = r.report.relock_failures;
+  rec.sim_time_s = r.report.sim_time_s;
+  rec.bench = r.bench;
+  return rec;
+}
+
+void tallyQuality(bist::SweepQualityReport& q, const bist::MeasuredPoint& p) {
+  ++q.points_total;
+  q.attempts_total += p.attempts;
+  switch (p.quality) {
+    case bist::PointQuality::Ok: ++q.ok; break;
+    case bist::PointQuality::Retried: ++q.retried; break;
+    case bist::PointQuality::Degraded: ++q.degraded; break;
+    case bist::PointQuality::Dropped: ++q.dropped; break;
+  }
+}
+
+/// Rebuild a resumed point's contribution to the merged response. The raw
+/// entry is a skeleton (counter captures are not journaled); everything
+/// the run report and Bode conversion read is reconstructed exactly.
+void mergeRecord(bist::ResilientResponse& m, const CheckpointRecord& rec) {
+  if (m.response.nominal_vco_hz == 0.0 && rec.nominal_vco_hz != 0.0) {
+    m.response.nominal_vco_hz = rec.nominal_vco_hz;
+    m.response.static_reference_deviation_hz = rec.static_reference_deviation_hz;
+  }
+  bist::TestSequencer::PointResult raw;
+  raw.modulation_hz = rec.point.modulation_hz;
+  raw.phase_deg = rec.point.phase_deg;
+  raw.held_frequency_hz = rec.nominal_vco_hz + rec.point.deviation_hz;
+  raw.timed_out = rec.point.timed_out;
+  raw.status = rec.point.status;
+  tallyQuality(m.report, rec.point);
+  m.report.relocks += rec.relocks;
+  m.report.relock_failures += rec.relock_failures;
+  m.report.sim_time_s += rec.sim_time_s;
+  m.bench.add(rec.bench);
+  m.response.points.push_back(rec.point);
+  m.response.raw.push_back(std::move(raw));
+}
+
+/// Deterministic campaign report: identical in shape to
+/// core::buildRunReport's output, but every section — kernel counters,
+/// fault statistics, the metrics block — is derived from the merged
+/// per-point data instead of the process-global registry, whose history
+/// depends on what else the process simulated. Resume then reproduces the
+/// uninterrupted report byte-for-byte (modulo stripTimingFields).
+obs::RunReport buildCampaignReport(const CheckpointHeader& header, int jobs,
+                                   const bist::ResilientResponse& result) {
+  obs::RunReport rep;
+  rep.tool = header.tool;
+  rep.device = header.device;
+  rep.stimulus = header.stimulus;
+  rep.config_digest = header.config_digest;
+  rep.jobs = jobs;
+  rep.sweep_status = Status::kindName(result.status.kind());
+
+  const bist::SweepQualityReport& q = result.report;
+  rep.quality.points_total = q.points_total;
+  rep.quality.ok = q.ok;
+  rep.quality.retried = q.retried;
+  rep.quality.degraded = q.degraded;
+  rep.quality.dropped = q.dropped;
+  rep.quality.attempts_total = q.attempts_total;
+  rep.quality.relocks = q.relocks;
+  rep.quality.relock_failures = q.relock_failures;
+  rep.quality.sim_time_s = q.sim_time_s;
+  rep.quality.wall_time_s = q.wall_time_s;
+
+  rep.points.reserve(result.response.points.size());
+  for (const bist::MeasuredPoint& p : result.response.points) {
+    obs::RunReport::Point row;
+    row.fm_hz = p.modulation_hz;
+    row.deviation_hz = p.deviation_hz;
+    row.phase_deg = p.phase_deg;
+    row.quality = bist::to_string(p.quality);
+    row.attempts = p.attempts;
+    row.status = Status::kindName(p.status.kind());
+    row.status_context = p.status.context();
+    row.wall_time_s = p.wall_time_s;
+    rep.points.push_back(std::move(row));
+  }
+
+  rep.kernel.processed = result.bench.events_processed;
+  rep.kernel.delivered = result.bench.events_delivered;
+  rep.kernel.dropped = result.bench.events_dropped;
+  rep.kernel.delayed = result.bench.events_delayed;
+  rep.kernel.swallowed = result.bench.events_swallowed;
+  if (result.bench.fault_benches > 0) {
+    obs::RunReport::FaultStats f;
+    f.considered = result.bench.faults_considered;
+    f.dropped = result.bench.faults_dropped;
+    f.delayed = result.bench.faults_delayed;
+    f.glitches = result.bench.faults_glitches;
+    rep.faults = f;
+  }
+
+  // Synthesised metrics block, fixed order, mirroring the live counter
+  // names so downstream consumers read one vocabulary.
+  auto add = [&](const char* name, uint64_t value) {
+    obs::CounterValue c;
+    c.name = name;
+    c.value = value;
+    rep.metrics.counters.push_back(std::move(c));
+  };
+  add("bist.resilient.attempts", static_cast<uint64_t>(q.attempts_total));
+  add("bist.resilient.relocks", static_cast<uint64_t>(q.relocks));
+  add("bist.resilient.relock_failures", static_cast<uint64_t>(q.relock_failures));
+  add("bist.resilient.points_ok", static_cast<uint64_t>(q.ok));
+  add("bist.resilient.points_retried", static_cast<uint64_t>(q.retried));
+  add("bist.resilient.points_degraded", static_cast<uint64_t>(q.degraded));
+  add("bist.resilient.points_dropped", static_cast<uint64_t>(q.dropped));
+  add("sim.kernel.events_processed", result.bench.events_processed);
+  add("sim.kernel.events_delivered", result.bench.events_delivered);
+  add("sim.kernel.events_dropped", result.bench.events_dropped);
+  add("sim.kernel.events_delayed", result.bench.events_delayed);
+  add("sim.kernel.events_swallowed", result.bench.events_swallowed);
+  if (result.bench.fault_benches > 0) {
+    add("sim.faults.benches", result.bench.fault_benches);
+    add("sim.faults.considered", result.bench.faults_considered);
+    add("sim.faults.dropped", result.bench.faults_dropped);
+    add("sim.faults.delayed", result.bench.faults_delayed);
+    add("sim.faults.glitches", result.bench.faults_glitches);
+  }
+  return rep;
+}
+
+}  // namespace
+
+Status CampaignOptions::check() const {
+  if (jobs < 0)
+    return Status::makef(K::InvalidArgument, "CampaignOptions: jobs = %d, must be >= 0 (0 = auto)",
+                         jobs);
+  if (deadline_s < 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "CampaignOptions: deadline_s = %g, must be >= 0 (0 = unlimited)",
+                         deadline_s);
+  if (supervision_tick_s <= 0.0)
+    return Status::makef(K::InvalidArgument,
+                         "CampaignOptions: supervision_tick_s = %g, must be positive",
+                         supervision_tick_s);
+  if (relock_breaker < 0)
+    return Status::makef(K::InvalidArgument,
+                         "CampaignOptions: relock_breaker = %d, must be >= 0 (0 = disabled)",
+                         relock_breaker);
+  if (!resume_path.empty() && resume_path == journal_path) {
+    // In-place continuation: fine by construction.
+  }
+  return resilience.check();
+}
+
+void CampaignOptions::validate() const { check().throwIfError(); }
+
+Campaign::Campaign(const pll::PllConfig& config, bist::SweepOptions sweep, CampaignOptions options)
+    : config_(config), sweep_(std::move(sweep)), options_(std::move(options)) {
+  config_.validate();
+  sweep_.check(config_).throwIfError();
+  options_.check().throwIfError();
+}
+
+CampaignResult Campaign::run() {
+  if (used_) throw std::logic_error("Campaign::run: campaign already used");
+  used_ = true;
+  PLLBIST_SPAN("campaign.run");
+  const auto wall_start = Clock::now();
+
+  CampaignResult out;
+  const std::vector<double>& freqs = sweep_.modulation_frequencies_hz;
+  const std::size_t n = freqs.size();
+  CheckpointHeader header;
+  header.tool = options_.tool;
+  header.device = options_.device;
+  header.stimulus = bist::to_string(sweep_.stimulus);
+  header.config_digest = obs::fnv1a64(canonicalConfigString(config_, sweep_));
+  header.points_total = n;
+
+  auto failClosed = [&](Status s) {
+    out.status = std::move(s);
+    out.merged.status = out.status;
+    return out;
+  };
+
+  // Resume: load previously committed points, fail closed on any identity
+  // or integrity violation. A torn final line is repaired (discarded +
+  // truncated on the in-place path); its point simply re-runs.
+  std::vector<std::optional<CheckpointRecord>> resumed(n);
+  JournalWriter writer;
+  bool writer_open = false;
+  if (!options_.resume_path.empty()) {
+    const auto load_start = Clock::now();
+    JournalLoadResult loaded;
+    if (options_.resume_path == options_.journal_path) {
+      if (Status s = writer.resume(options_.journal_path, header, loaded); !s.ok())
+        return failClosed(std::move(s));
+      writer_open = true;
+    } else {
+      if (Status s = loadJournal(options_.resume_path, loaded); !s.ok())
+        return failClosed(std::move(s));
+      if (Status s = checkJournalHeader(loaded.header, header.config_digest, n); !s.ok())
+        return failClosed(std::move(s));
+    }
+    telemetry().resume_load_wall.observe(secondsSince(load_start));
+    out.torn_tail_repaired = loaded.torn_tail;
+    if (loaded.torn_tail) telemetry().torn_tails.increment();
+    for (CheckpointRecord& rec : loaded.records) {
+      const std::size_t i = rec.index;
+      resumed[i] = std::move(rec);
+      ++out.points_resumed;
+    }
+    telemetry().points_resumed.add(static_cast<uint64_t>(out.points_resumed));
+  }
+  if (!options_.journal_path.empty() && !writer_open) {
+    if (Status s = writer.create(options_.journal_path, header); !s.ok())
+      return failClosed(std::move(s));
+    writer_open = true;
+    // Resumed from a different file: re-commit the inherited records so
+    // the target journal alone carries every committed point exactly once.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!resumed[i]) continue;
+      if (Status s = writer.append(*resumed[i]); !s.ok()) return failClosed(std::move(s));
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!resumed[i]) pending.push_back(i);
+
+  // Deadline supervisor: sleeps in ticks but never past the deadline, so
+  // the stop token trips at the deadline itself; the tick only bounds how
+  // long the supervisor lingers after a normal finish.
+  std::atomic<bool> finished{false};
+  std::atomic<bool> deadline_hit{false};
+  std::thread supervisor;
+  if (options_.deadline_s > 0.0 && !pending.empty()) {
+    supervisor = std::thread([&] {
+      const auto deadline =
+          wall_start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options_.deadline_s));
+      const auto tick = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options_.supervision_tick_s));
+      while (!finished.load(std::memory_order_acquire)) {
+        const auto now = Clock::now();
+        if (now >= deadline) {
+          deadline_hit.store(true, std::memory_order_release);
+          telemetry().deadline_hits.increment();
+          PLLBIST_INSTANT("campaign.deadline");
+          stop_.requestStop();
+          return;
+        }
+        std::this_thread::sleep_until(std::min(deadline, now + tick));
+      }
+    });
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> breaker_open{false};
+  std::mutex commit_mutex;
+  // Guarded by commit_mutex:
+  std::vector<std::optional<bist::ResilientResponse>> exec(n);
+  int consecutive_relock_failed_points = 0;
+  int executed = 0;
+  Status journal_error;
+
+  auto worker = [&] {
+    obs::ScopedSpan span("campaign.worker");
+    for (;;) {
+      if (stop_.stopRequested() || breaker_open.load(std::memory_order_acquire)) return;
+      const std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (k >= pending.size()) return;
+      const std::size_t i = pending[k];
+      bist::ResilientResponse r;
+      try {
+        bist::ResilientSweep engine(config_, bist::singlePointOptions(sweep_, i),
+                                    options_.resilience);
+        engine.attachStop(&stop_);
+        if (on_point_testbench_)
+          engine.onTestbench([this, i](bist::SweepTestbench& bench) { on_point_testbench_(i, bench); });
+        r = engine.run();
+      } catch (const std::exception& e) {
+        r.status = Status::makef(K::Internal, "point %zu (fm = %g Hz): engine threw: %s", i,
+                                 freqs[i], e.what());
+      }
+
+      std::lock_guard<std::mutex> guard(commit_mutex);
+      // A cancelled point is not terminal — it re-runs on resume, so it is
+      // never committed to the journal and never counts as executed.
+      const bool cancelled =
+          r.status.kind() == K::Cancelled ||
+          (!r.response.points.empty() &&
+           r.response.points.front().status.kind() == K::Cancelled);
+      if (!cancelled && !r.response.points.empty()) {
+        if (writer_open && journal_error.ok()) {
+          const auto append_start = Clock::now();
+          if (Status s = writer.append(makeRecord(i, r)); !s.ok()) {
+            // Durability was requested and is gone: stop burning budget on
+            // points that could not be checkpointed.
+            journal_error = std::move(s);
+            writer.close();
+            stop_.requestStop();
+          } else {
+            telemetry().journal_append_wall.observe(secondsSince(append_start));
+            telemetry().journal_records.increment();
+          }
+        }
+        const bist::MeasuredPoint& p = r.response.points.front();
+        const bool relock_failure_drop = p.quality == bist::PointQuality::Dropped &&
+                                         p.status.kind() == K::RelockFailed;
+        if (relock_failure_drop) {
+          ++consecutive_relock_failed_points;
+          if (options_.relock_breaker > 0 &&
+              consecutive_relock_failed_points >= options_.relock_breaker &&
+              !breaker_open.load(std::memory_order_relaxed)) {
+            breaker_open.store(true, std::memory_order_release);
+            telemetry().breaker_trips.increment();
+            PLLBIST_INSTANT("campaign.breaker_open");
+          }
+        } else {
+          consecutive_relock_failed_points = 0;
+        }
+        ++executed;
+        telemetry().points_executed.increment();
+      }
+      const bist::MeasuredPoint* point =
+          r.response.points.empty() ? nullptr : &r.response.points.front();
+      exec[i] = std::move(r);
+      if (progress_ && point != nullptr) progress_(i, *point);
+    }
+  };
+
+  if (!pending.empty()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::size_t jobs = options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs)
+                                         : static_cast<std::size_t>(hw > 0 ? hw : 1);
+    jobs = std::min(jobs, pending.size());
+    if (jobs <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(jobs);
+      for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+  }
+  finished.store(true, std::memory_order_release);
+  if (supervisor.joinable()) supervisor.join();
+  writer.close();
+
+  out.points_executed = executed;
+  out.deadline_hit = deadline_hit.load(std::memory_order_acquire);
+  out.stop_requested = stop_.stopRequested();
+  out.breaker_opened = breaker_open.load(std::memory_order_acquire);
+
+  // Deterministic merge in original point-index order, exactly the
+  // ParallelSweep discipline: resumed records and freshly executed points
+  // are indistinguishable in the result, and points that never ran are
+  // synthesised as Dropped with the reason they never ran.
+  bist::ResilientResponse& m = out.merged;
+  Status first_fatal;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (resumed[i]) {
+      mergeRecord(m, *resumed[i]);
+      continue;
+    }
+    if (exec[i]) {
+      bist::ResilientResponse& r = *exec[i];
+      if (m.response.nominal_vco_hz == 0.0 && r.response.nominal_vco_hz != 0.0) {
+        m.response.nominal_vco_hz = r.response.nominal_vco_hz;
+        m.response.static_reference_deviation_hz = r.response.static_reference_deviation_hz;
+      }
+      m.bench.add(r.bench);
+      m.report.sim_time_s += r.report.sim_time_s;
+      if (r.response.points.empty()) {
+        bist::MeasuredPoint p;
+        p.modulation_hz = freqs[i];
+        p.timed_out = true;
+        p.quality = bist::PointQuality::Dropped;
+        p.attempts = 0;
+        p.status = r.status.ok()
+                       ? Status::makef(K::Internal,
+                                       "point %zu (fm = %g Hz): engine produced no point", i,
+                                       freqs[i])
+                       : r.status;
+        bist::TestSequencer::PointResult raw;
+        raw.modulation_hz = freqs[i];
+        raw.timed_out = true;
+        raw.status = p.status;
+        tallyQuality(m.report, p);
+        m.response.points.push_back(std::move(p));
+        m.response.raw.push_back(std::move(raw));
+      } else {
+        bist::MeasuredPoint p = r.response.points.front();
+        if (out.deadline_hit && p.status.kind() == K::Cancelled)
+          p.status = Status::makef(K::DeadlineExceeded, "campaign deadline %g s exceeded; %s",
+                                   options_.deadline_s, p.status.context().c_str());
+        tallyQuality(m.report, p);
+        m.report.relocks += r.report.relocks;
+        m.report.relock_failures += r.report.relock_failures;
+        m.response.points.push_back(std::move(p));
+        m.response.raw.push_back(std::move(r.response.raw.front()));
+      }
+      if (first_fatal.ok() && !r.status.ok() && r.status.kind() != K::Cancelled)
+        first_fatal = r.status;
+      continue;
+    }
+    // Never claimed: deadline first (the deadline trips the stop token, so
+    // check the specific cause before the generic one), then stop, then
+    // breaker.
+    bist::MeasuredPoint p;
+    p.modulation_hz = freqs[i];
+    p.timed_out = true;
+    p.quality = bist::PointQuality::Dropped;
+    p.attempts = 0;
+    if (out.deadline_hit) {
+      p.status = Status::makef(K::DeadlineExceeded,
+                               "point %zu (fm = %g Hz): campaign deadline %g s exceeded before "
+                               "the point was claimed",
+                               i, freqs[i], options_.deadline_s);
+    } else if (out.stop_requested) {
+      p.status = Status::makef(K::Cancelled,
+                               "point %zu (fm = %g Hz): stop requested before the point was "
+                               "claimed",
+                               i, freqs[i]);
+    } else if (out.breaker_opened) {
+      p.status = Status::makef(K::RelockFailed,
+                               "point %zu (fm = %g Hz): relock circuit breaker open after %d "
+                               "consecutive relock-failed points; point not attempted",
+                               i, freqs[i], options_.relock_breaker);
+    } else {
+      p.status = Status::makef(K::Internal, "point %zu (fm = %g Hz): point was never claimed", i,
+                               freqs[i]);
+    }
+    bist::TestSequencer::PointResult raw;
+    raw.modulation_hz = freqs[i];
+    raw.timed_out = true;
+    raw.status = p.status;
+    tallyQuality(m.report, p);
+    m.response.points.push_back(std::move(p));
+    m.response.raw.push_back(std::move(raw));
+  }
+  m.report.wall_time_s = secondsSince(wall_start);
+  m.breaker_open = out.breaker_opened;
+
+  if (!journal_error.ok()) {
+    out.status = journal_error;
+  } else if (out.deadline_hit) {
+    out.status = Status::makef(K::DeadlineExceeded,
+                               "campaign deadline %g s exceeded; %d of %zu points completed",
+                               options_.deadline_s, m.report.usable(), n);
+  } else if (out.stop_requested) {
+    out.status = Status::makef(K::Cancelled, "stop requested; %d of %zu points completed",
+                               m.report.usable(), n);
+  } else if (!first_fatal.ok()) {
+    out.status = first_fatal;
+  }
+  m.status = out.status;
+  out.report = buildCampaignReport(header, options_.jobs, m);
+  return out;
+}
+
+}  // namespace pllbist::core

@@ -31,13 +31,16 @@
 #include "bist/step_test.hpp"
 #include "bist/testbench.hpp"
 #include "common/status.hpp"
+#include "common/stop_token.hpp"
 #include "common/units.hpp"
 #include "control/bode.hpp"
 #include "control/cppll_model.hpp"
 #include "control/grid.hpp"
 #include "control/second_order.hpp"
 #include "control/transfer_function.hpp"
+#include "core/campaign.hpp"
 #include "core/characterization.hpp"
+#include "core/journal.hpp"
 #include "core/measurement.hpp"
 #include "core/report_builder.hpp"
 #include "core/testplan.hpp"

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 #include "bist/testbench.hpp"
@@ -154,6 +155,59 @@ TEST(ParallelSweep, RunIsSingleUse) {
   ParallelSweep engine(fastTestConfig(), sweep, {});
   (void)engine.run();
   EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(ParallelSweep, RequestStopAfterFirstPointIsDeterministicAtOneJob) {
+  // Serial farm: stop lands between points, so exactly the triggering point
+  // is measured and every later slot is a Cancelled drop.
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 5);
+  ParallelSweep engine(fastTestConfig(), sweep, {});
+  engine.onPointMeasured([&](std::size_t, const MeasuredPoint&) { engine.requestStop(); });
+  const ResilientResponse r = engine.run();
+  ASSERT_EQ(r.response.points.size(), 5u);
+  EXPECT_EQ(r.report.points_total, 5);
+  EXPECT_EQ(r.report.ok, 1);
+  EXPECT_EQ(r.report.dropped, 4);
+  EXPECT_EQ(r.status.kind(), Status::Kind::Cancelled);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(r.response.points[i].quality, PointQuality::Dropped) << "point " << i;
+    EXPECT_EQ(r.response.points[i].status.kind(), Status::Kind::Cancelled) << "point " << i;
+  }
+}
+
+TEST(ParallelSweep, RequestStopMidCampaignDrainsWorkersWithoutDoubleCounting) {
+  // Three workers over six points; the first completion trips the stop.
+  // Claimed points drain normally, unclaimed points come back as Cancelled
+  // drops, and the merged report still accounts for every slot once.
+  const SweepOptions sweep = fastSweepOptions(StimulusKind::MultiToneFsk, 6);
+  ParallelSweepOptions popt;
+  popt.jobs = 3;
+  ParallelSweep engine(fastTestConfig(), sweep, popt);
+  std::atomic<int> measured{0};
+  engine.onPointMeasured([&](std::size_t, const MeasuredPoint&) {
+    if (measured.fetch_add(1) == 0) engine.requestStop();
+  });
+  const ResilientResponse r = engine.run();  // run() joins the pool
+  ASSERT_EQ(r.response.points.size(), 6u);
+  EXPECT_EQ(r.report.points_total, 6);
+  EXPECT_EQ(r.report.ok + r.report.retried + r.report.degraded + r.report.dropped, 6);
+  // Workers check the stop token before claiming, so at most the three
+  // in-flight points finish: the rest must be cancelled, never simulated.
+  EXPECT_GE(r.report.dropped, 3);
+  EXPECT_GE(measured.load(), 1);
+  EXPECT_LE(measured.load(), 3);
+  EXPECT_EQ(r.status.kind(), Status::Kind::Cancelled);
+  int cancelled = 0;
+  for (const MeasuredPoint& p : r.response.points)
+    if (p.status.kind() == Status::Kind::Cancelled) {
+      EXPECT_EQ(p.quality, PointQuality::Dropped);
+      // A point interrupted mid-measurement consumed one attempt; a point
+      // no worker ever claimed consumed none. Never more than one: stop
+      // suppresses retries.
+      EXPECT_LE(p.attempts, 1);
+      ++cancelled;
+    }
+  EXPECT_EQ(cancelled, r.report.dropped);
 }
 
 TEST(TestbenchFactory, BenchesAreIndependent) {

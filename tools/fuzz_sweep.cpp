@@ -9,7 +9,12 @@
 //      InvalidArgument instead of crashing;
 //   3. the SweepQualityReport counters are internally consistent;
 //   4. the consolidated RunReport round-trips through the obs JSON parser
-//      (toJson -> parse -> validate -> dump -> reparse -> dump fixpoint).
+//      (toJson -> parse -> validate -> dump -> reparse -> dump fixpoint);
+//   5. the checkpoint-journal loader is crash-proof under mutation: a
+//      synthesized journal is torn, duplicated, reordered, bit-flipped,
+//      beheaded or digest-corrupted, and the loader must either accept it
+//      with unique in-range indices (exactly-once resume) or fail closed
+//      as InvalidArgument — never crash, never accept garbage.
 //
 // Built two ways:
 //   - standalone driver (always): fuzz_sweep --seed N --runs N
@@ -33,6 +38,7 @@
 #include "bist/controller.hpp"
 #include "bist/resilient_sweep.hpp"
 #include "bist/testbench.hpp"
+#include "core/journal.hpp"
 #include "core/report_builder.hpp"
 #include "golden/differential.hpp"
 #include "obs/json.hpp"
@@ -58,6 +64,7 @@ struct FuzzStats {
   uint64_t swept = 0;     ///< sweeps that actually ran
   uint64_t rejected = 0;  ///< option mutations refused as InvalidArgument
   uint64_t faulted = 0;   ///< runs with the injector attached
+  uint64_t journals = 0;  ///< journal-mutation iterations
 };
 
 [[noreturn]] void fail(uint64_t seed, const char* invariant, const std::string& detail) {
@@ -78,6 +85,144 @@ void requireTaxonomy(uint64_t seed, const Status& s, const char* where) {
     fail(seed, "status-taxonomy", std::string(where) + ": unnamed status kind");
 }
 
+// Invariant 5: journal-mutation fuzz. Synthesize a valid checkpoint
+// journal from the seed stream, apply one structured mutation, and hold
+// the loader to its fail-closed contract: parse succeeds with unique
+// in-range indices, or fails as InvalidArgument — and parsing is a pure
+// function (same text twice -> same outcome).
+void fuzzJournal(uint64_t seed, uint64_t& state, FuzzStats& st) {
+  namespace core = pllbist::core;
+  ++st.journals;
+
+  core::CheckpointHeader hdr;
+  hdr.tool = "fuzz_sweep";
+  hdr.device = "fuzz";
+  hdr.stimulus = "multi-tone-fsk";
+  hdr.config_digest = splitmix64(state) | 1;
+  const std::size_t n = 2 + splitmix64(state) % 6;  // 2..7 records
+  hdr.points_total = n;
+
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::CheckpointRecord rec;
+    rec.index = i;
+    rec.point.modulation_hz = 10.0 + 5.0 * static_cast<double>(i);
+    rec.point.deviation_hz = 100.0 + 400.0 * unitInterval(splitmix64(state));
+    rec.point.phase_deg = -180.0 * unitInterval(splitmix64(state));
+    rec.point.attempts = 1 + static_cast<int>(splitmix64(state) % 3);
+    rec.nominal_vco_hz = 1e5;
+    rec.static_reference_deviation_hz = 1000.0;
+    rec.sim_time_s = 0.25 * unitInterval(splitmix64(state));
+    rec.bench.events_processed = static_cast<long long>(splitmix64(state) % 100000);
+    rec.bench.events_delivered = rec.bench.events_processed;
+    lines.push_back(core::JournalWriter::recordLine(rec));
+  }
+  std::string text = core::JournalWriter::headerLine(hdr) + "\n";
+  for (const std::string& l : lines) text += l + "\n";
+
+  const unsigned mutation = static_cast<unsigned>(splitmix64(state) % 8);
+  bool expect_ok = false, expect_torn = false, expect_fail = false;
+  std::size_t expect_records = 0;
+  switch (mutation) {
+    case 0:  // untouched: must load completely
+      expect_ok = true;
+      expect_records = n;
+      break;
+    case 1: {  // torn tail: chop 1..len bytes off the final line
+      const std::size_t chop = 1 + splitmix64(state) % lines.back().size();
+      text.resize(text.size() - chop);
+      expect_ok = expect_torn = true;
+      expect_records = n - 1;
+      break;
+    }
+    case 2:  // duplicated record: keep-first, still n unique
+      text += lines[splitmix64(state) % n] + "\n";
+      expect_ok = true;
+      expect_records = n;
+      break;
+    case 3: {  // reordered records: indices are explicit, order is free
+      const std::size_t a = splitmix64(state) % n, b = splitmix64(state) % n;
+      std::string reordered = core::JournalWriter::headerLine(hdr) + "\n";
+      std::vector<std::string> shuffled = lines;
+      std::swap(shuffled[a], shuffled[b]);
+      for (const std::string& l : shuffled) reordered += l + "\n";
+      text = reordered;
+      expect_ok = true;
+      expect_records = n;
+      break;
+    }
+    case 4: {  // bit flip anywhere: any classification but never a crash
+      const std::size_t pos = splitmix64(state) % text.size();
+      text[pos] = static_cast<char>(text[pos] ^ static_cast<char>(1u << (splitmix64(state) % 8)));
+      break;
+    }
+    case 5:  // beheaded: first line is a record, not a header
+      text = text.substr(text.find('\n') + 1);
+      expect_fail = true;
+      break;
+    case 6: {  // digest corrupt: parses, but the header check must refuse
+      core::CheckpointHeader wrong = hdr;
+      wrong.config_digest ^= 0x10;
+      text = core::JournalWriter::headerLine(wrong) + "\n";
+      for (const std::string& l : lines) text += l + "\n";
+      expect_ok = true;
+      expect_records = n;
+      break;
+    }
+    case 7:  // arbitrary prefix: clean cut, torn cut, or a dead header
+      text.resize(splitmix64(state) % (text.size() + 1));
+      break;
+  }
+
+  core::JournalLoadResult loaded;
+  const Status parsed = core::parseJournal(text, loaded);
+  requireTaxonomy(seed, parsed, "parseJournal");
+  if (!parsed.ok() && parsed.kind() != Status::Kind::InvalidArgument)
+    fail(seed, "journal-failclosed", "loader rejection is not InvalidArgument: " +
+                                         parsed.toString());
+  if (expect_fail && parsed.ok())
+    fail(seed, "journal-failclosed", "beheaded journal was accepted");
+  if (expect_ok) {
+    if (!parsed.ok())
+      fail(seed, "journal-failclosed",
+           "mutation " + std::to_string(mutation) + " should load: " + parsed.toString());
+    if (loaded.records.size() != expect_records)
+      fail(seed, "journal-exactly-once",
+           "mutation " + std::to_string(mutation) + ": expected " +
+               std::to_string(expect_records) + " records, got " +
+               std::to_string(loaded.records.size()));
+    if (expect_torn != loaded.torn_tail)
+      fail(seed, "journal-exactly-once", "torn-tail flag wrong for mutation " +
+                                             std::to_string(mutation));
+  }
+  if (parsed.ok()) {
+    // Exactly-once: indices unique and inside the campaign.
+    std::vector<bool> seen(loaded.header.points_total, false);
+    for (const core::CheckpointRecord& r : loaded.records) {
+      if (r.index >= loaded.header.points_total)
+        fail(seed, "journal-exactly-once", "record index out of range");
+      if (seen[r.index]) fail(seed, "journal-exactly-once", "duplicate index survived loading");
+      seen[r.index] = true;
+    }
+    if (loaded.clean_bytes > text.size())
+      fail(seed, "journal-exactly-once", "clean_bytes beyond the file");
+    // The campaign identity check is itself total: ok or InvalidArgument.
+    const Status ident =
+        core::checkJournalHeader(loaded.header, hdr.config_digest, hdr.points_total);
+    requireTaxonomy(seed, ident, "checkJournalHeader");
+    if (!ident.ok() && ident.kind() != Status::Kind::InvalidArgument)
+      fail(seed, "journal-failclosed", "identity rejection is not InvalidArgument");
+    if (mutation == 6 && ident.ok())
+      fail(seed, "journal-failclosed", "corrupt config digest was accepted");
+  }
+  // Purity: loading the same bytes again classifies identically.
+  core::JournalLoadResult again;
+  const Status reparsed = core::parseJournal(text, again);
+  if (reparsed.kind() != parsed.kind() || again.records.size() != loaded.records.size() ||
+      again.torn_tail != loaded.torn_tail)
+    fail(seed, "journal-failclosed", "parseJournal is not deterministic");
+}
+
 // One fuzz iteration. `data` seeds a splitmix64 stream; the stream picks
 // the device, mutates the sweep options (sometimes into invalid shapes on
 // purpose) and decides the fault choreography. Returns stats deltas via
@@ -88,6 +233,10 @@ void fuzzOne(const uint8_t* data, size_t size, FuzzStats& st) {
       std::string_view(reinterpret_cast<const char*>(data), size));
   if (seed == 0) seed = 1;
   uint64_t state = seed;
+
+  // Journal mutations are pure CPU (no simulation), so every iteration
+  // fuzzes the loader alongside the sweep stack.
+  fuzzJournal(seed, state, st);
 
   // Device from the same seeded family as the golden differential suite:
   // fn in [120, 420] Hz, zeta in [0.3, 1.5], both pump kinds.
@@ -282,11 +431,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(st.faulted), elapsed);
     if (elapsed > max_seconds) break;
   }
-  std::printf("fuzz_sweep: %llu runs (%llu swept, %llu rejected, %llu faulted), 0 violations\n",
-              static_cast<unsigned long long>(st.runs),
-              static_cast<unsigned long long>(st.swept),
-              static_cast<unsigned long long>(st.rejected),
-              static_cast<unsigned long long>(st.faulted));
+  std::printf(
+      "fuzz_sweep: %llu runs (%llu swept, %llu rejected, %llu faulted, %llu journals), "
+      "0 violations\n",
+      static_cast<unsigned long long>(st.runs), static_cast<unsigned long long>(st.swept),
+      static_cast<unsigned long long>(st.rejected), static_cast<unsigned long long>(st.faulted),
+      static_cast<unsigned long long>(st.journals));
   if (st.swept == 0) {
     std::fprintf(stderr, "fuzz_sweep: no iteration exercised a sweep — widen the budget\n");
     return 1;

@@ -4,16 +4,24 @@
 //
 //   pllbist.run_report/1     the consolidated sweep report (sweep_cli --report)
 //   pllbist.golden_report/1  the golden-model differential report
+//   pllbist.checkpoint/1     the campaign checkpoint journal (JSONL; the
+//                            schema lives on the header line, so dispatch
+//                            parses the first line before the whole file)
 //
 // Pure C++, no external tooling — CI and the obs test suite use it to
 // round-trip reports the tools emit.
 //
 //   report_check file.json [more.json ...]   validate files, exit 0 iff all pass
-//   report_check --selftest                  build reports of both schemas
+//   report_check --selftest                  build reports of all schemas
 //                                            in-process, serialise, re-parse,
 //                                            validate, and check that
 //                                            stripTimingFields removes exactly
 //                                            the documented timing paths
+//
+// Journal validation accepts a torn final line (the signature of a crash
+// mid-append — resume repairs it by truncation) with a note, but rejects
+// corrupt interior lines and malformed headers, matching the loader's
+// fail-closed contract.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +29,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -47,6 +56,30 @@ Status validateBySchema(const obs::JsonValue& doc, const char** schema_out) {
                        schema->string.c_str(), obs::kRunReportSchema, obs::kGoldenReportSchema);
 }
 
+// Checkpoint journals are JSONL, so the file as a whole is not one JSON
+// document — detect them by parsing the first line and reading its schema.
+bool looksLikeJournal(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  const std::string first = text.substr(0, eol);
+  obs::JsonValue doc;
+  if (!obs::parseJson(first, doc).ok()) return false;
+  const obs::JsonValue* schema = doc.find("schema");
+  return schema != nullptr && schema->isString() && schema->string == core::kCheckpointSchema;
+}
+
+int checkJournalFile(const char* path, const std::string& text) {
+  core::JournalLoadResult loaded;
+  if (Status s = core::parseJournal(text, loaded); !s.ok()) {
+    std::fprintf(stderr, "report_check: %s: %s\n", path, s.toString().c_str());
+    return 1;
+  }
+  std::printf("report_check: %s: ok (%s, %zu records of %zu points%s%s)\n", path,
+              core::kCheckpointSchema, loaded.records.size(), loaded.header.points_total,
+              loaded.torn_tail ? ", torn tail discarded" : "",
+              loaded.duplicates_ignored > 0 ? ", duplicates ignored" : "");
+  return 0;
+}
+
 int checkFile(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -55,6 +88,7 @@ int checkFile(const char* path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (looksLikeJournal(buf.str())) return checkJournalFile(path, buf.str());
   obs::JsonValue doc;
   if (Status s = obs::parseJson(buf.str(), doc); !s.ok()) {
     std::fprintf(stderr, "report_check: %s: %s\n", path, s.toString().c_str());
@@ -264,6 +298,102 @@ int goldenSelftest() {
   return 0;
 }
 
+int journalSelftest() {
+  // Round-trip: serialise a small journal through the writer's canonical
+  // line forms, re-parse, verify the header check passes.
+  core::CheckpointHeader hdr;
+  hdr.tool = "report_check";
+  hdr.device = "selftest";
+  hdr.stimulus = "multi-tone-fsk";
+  hdr.config_digest = obs::fnv1a64("selftest-config");
+  hdr.points_total = 3;
+  std::string text = core::JournalWriter::headerLine(hdr) + "\n";
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < 3; ++i) {
+    core::CheckpointRecord rec;
+    rec.index = i;
+    rec.point.modulation_hz = 10.0 * static_cast<double>(i + 1);
+    rec.point.deviation_hz = 400.0 - 10.0 * static_cast<double>(i);
+    rec.point.phase_deg = -15.0 * static_cast<double>(i + 1);
+    rec.nominal_vco_hz = 1e5;
+    rec.static_reference_deviation_hz = 1000.0;
+    rec.sim_time_s = 0.3;
+    rec.bench.events_processed = 1000 + 7 * static_cast<long long>(i);
+    rec.bench.events_delivered = 990;
+    lines.push_back(core::JournalWriter::recordLine(rec));
+  }
+  for (const std::string& l : lines) text += l + "\n";
+
+  core::JournalLoadResult loaded;
+  if (Status s = core::parseJournal(text, loaded); !s.ok()) {
+    std::fprintf(stderr, "journal selftest: round-trip does not parse: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+  if (loaded.records.size() != 3 || loaded.torn_tail || loaded.clean_bytes != text.size()) {
+    std::fprintf(stderr, "journal selftest: round-trip lost records (%zu of 3, clean %zu/%zu)\n",
+                 loaded.records.size(), loaded.clean_bytes, text.size());
+    return 1;
+  }
+  if (Status s = core::checkJournalHeader(loaded.header, hdr.config_digest, hdr.points_total);
+      !s.ok()) {
+    std::fprintf(stderr, "journal selftest: matching header was rejected: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+
+  // Torn tail: a file cut mid-record must load with the tail discarded and
+  // clean_bytes pointing at the last complete line — never an error.
+  const std::string torn = text.substr(0, text.size() - lines.back().size() / 2 - 1);
+  core::JournalLoadResult torn_loaded;
+  if (Status s = core::parseJournal(torn, torn_loaded); !s.ok()) {
+    std::fprintf(stderr, "journal selftest: torn tail was rejected: %s\n", s.toString().c_str());
+    return 1;
+  }
+  if (!torn_loaded.torn_tail || torn_loaded.records.size() != 2) {
+    std::fprintf(stderr, "journal selftest: torn tail not detected (%zu records, torn=%d)\n",
+                 torn_loaded.records.size(), torn_loaded.torn_tail ? 1 : 0);
+    return 1;
+  }
+
+  // Digest mismatch: a journal from a different campaign must be rejected.
+  if (core::checkJournalHeader(loaded.header, hdr.config_digest ^ 1, hdr.points_total).ok()) {
+    std::fprintf(stderr, "journal selftest: wrong config digest was accepted\n");
+    return 1;
+  }
+  if (core::checkJournalHeader(loaded.header, hdr.config_digest, hdr.points_total + 1).ok()) {
+    std::fprintf(stderr, "journal selftest: wrong campaign size was accepted\n");
+    return 1;
+  }
+
+  // Corrupt interior line: fail closed, not recoverable.
+  std::string corrupt = text;
+  const std::size_t mid = corrupt.find("\"index\":1");
+  corrupt[mid + 1] = '!';
+  core::JournalLoadResult corrupt_loaded;
+  if (core::parseJournal(corrupt, corrupt_loaded).ok()) {
+    std::fprintf(stderr, "journal selftest: corrupt interior line was accepted\n");
+    return 1;
+  }
+
+  // Duplicate index: keep-first, counted.
+  const std::string dup = text + lines[0] + "\n";
+  core::JournalLoadResult dup_loaded;
+  if (Status s = core::parseJournal(dup, dup_loaded); !s.ok()) {
+    std::fprintf(stderr, "journal selftest: duplicate record was rejected: %s\n",
+                 s.toString().c_str());
+    return 1;
+  }
+  if (dup_loaded.records.size() != 3 || dup_loaded.duplicates_ignored != 1) {
+    std::fprintf(stderr, "journal selftest: duplicate handling wrong (%zu records, %zu ignored)\n",
+                 dup_loaded.records.size(), dup_loaded.duplicates_ignored);
+    return 1;
+  }
+
+  std::printf("report_check: journal selftest ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,7 +403,8 @@ int main(int argc, char** argv) {
   }
   int rc = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--selftest") == 0) rc |= selftest() | goldenSelftest();
+    if (std::strcmp(argv[i], "--selftest") == 0)
+      rc |= selftest() | goldenSelftest() | journalSelftest();
     else rc |= checkFile(argv[i]);
   }
   return rc;
